@@ -1,0 +1,95 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * store-buffer depth on the simulated machine (deeper buffers make the
+//!   program-based fence more expensive to drain but delay natural link
+//!   clears);
+//! * the ARW+ waiting-heuristic spin window (the knob behind Fig 6(b));
+//! * deque pop strategy: the THE fast path versus an always-lock pop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbmf_sim::prelude::*;
+use std::hint::black_box;
+
+fn ablate_sb_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate/sb_depth_serial_dekker_mfence");
+    for depth in [1usize, 2, 4, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let opt = DekkerOptions {
+                    iters: 500,
+                    cs_mem_ops: true,
+                    cs_work: 0,
+                };
+                let cfg = MachineConfig {
+                    sb_capacity: depth,
+                    record_trace: false,
+                    ..MachineConfig::default()
+                };
+                let mut m =
+                    Machine::new(cfg, CostModel::default(), dekker_serial(FenceKind::Mfence, opt));
+                assert!(m.run_pseudo_parallel(depth as u64, 10_000_000));
+                m.cpus[0].clock
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_spin_window(c: &mut Criterion) {
+    use lbmf_des::rw_sim::{simulate, RwSimConfig, RwVariant};
+    use lbmf_des::SerializeKind;
+    let mut group = c.benchmark_group("ablate/arwplus_spin_window");
+    for window in [0u64, 1_000, 5_000, 20_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &window| {
+            b.iter(|| {
+                let variant = if window == 0 {
+                    RwVariant::Arw { serialize: SerializeKind::Signal }
+                } else {
+                    RwVariant::ArwPlus { serialize: SerializeKind::Signal, window }
+                };
+                let mut cfg = RwSimConfig::new(8, 500, variant);
+                cfg.reads_per_thread = 2_000;
+                let r = simulate(&cfg);
+                black_box(r.read_throughput())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_deque_pop(c: &mut Criterion) {
+    use lbmf::strategy::{SignalFence, Symmetric};
+    use lbmf_cilk::deque::TheDeque;
+    use lbmf_cilk::stats::WorkerStats;
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("ablate/deque_push_pop_pair");
+    group.bench_function("the_protocol_symmetric", |b| {
+        let d: TheDeque<Symmetric> = TheDeque::new(Arc::new(Symmetric::new()), 8);
+        let stats = WorkerStats::default();
+        b.iter(|| {
+            d.push(black_box(std::ptr::dangling_mut()), &stats);
+            black_box(d.pop(&stats))
+        })
+    });
+    group.bench_function("the_protocol_lbmf", |b| {
+        let d: TheDeque<SignalFence> = TheDeque::new(Arc::new(SignalFence::new()), 8);
+        let stats = WorkerStats::default();
+        b.iter(|| {
+            d.push(black_box(std::ptr::dangling_mut()), &stats);
+            black_box(d.pop(&stats))
+        })
+    });
+    group.bench_function("always_lock_mutex", |b| {
+        // The naive alternative to THE: every operation under a mutex.
+        let q = parking_lot::Mutex::new(Vec::<usize>::new());
+        b.iter(|| {
+            q.lock().push(black_box(8));
+            black_box(q.lock().pop())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(group, ablate_sb_depth, ablate_spin_window, ablate_deque_pop);
+criterion_main!(group);

@@ -1,0 +1,45 @@
+//! Criterion microbenchmark for **E1**: uncontended Dekker entry/exit on
+//! the primary path, per fence strategy. The symmetric strategy pays an
+//! `mfence`-class fence per entry; the location-based strategies pay a
+//! compiler fence only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbmf::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_strategy<S: FenceStrategy>(c: &mut Criterion, name: &str, strategy: Arc<S>) {
+    // Criterion runs us on one thread throughout, so registering the
+    // benchmark thread as the primary is sound.
+    let dekker = Arc::new(AsymmetricDekker::new(strategy));
+    let primary = dekker.register_primary();
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            primary.with_lock(|| black_box(()));
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_strategy(c, "dekker_entry/symmetric_mfence", Arc::new(Symmetric::new()));
+    bench_strategy(c, "dekker_entry/lbmf_signal", Arc::new(SignalFence::new()));
+    if let Some(m) = MembarrierFence::try_new() {
+        bench_strategy(c, "dekker_entry/lbmf_membarrier", Arc::new(m));
+    }
+    bench_strategy(c, "dekker_entry/no_fence_broken", Arc::new(NoFence::new()));
+
+    // The raw fence costs, for scale.
+    c.bench_function("fence/full_fence", |b| b.iter(|| {
+        full_fence();
+        black_box(())
+    }));
+    c.bench_function("fence/compiler_fence", |b| {
+        b.iter(|| {
+            compiler_fence_only();
+            black_box(())
+        })
+    });
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

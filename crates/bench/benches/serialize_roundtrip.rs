@@ -1,0 +1,66 @@
+//! Criterion microbenchmark for **E2**: one remote-serialization round
+//! trip per mechanism — the signal handshake of the paper's software
+//! prototype versus the `membarrier(2)` kernel-assisted fence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbmf::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Target {
+    remote: RemoteThread,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Target {
+    fn spawn() -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            let reg = register_current_thread();
+            tx.send(reg.remote()).unwrap();
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        });
+        Target {
+            remote: rx.recv().unwrap(),
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Target {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let target = Target::spawn();
+    c.bench_function("serialize/signal_roundtrip", |b| {
+        b.iter(|| {
+            assert!(target.remote.serialize());
+        })
+    });
+
+    if let Some(m) = MembarrierFence::try_new() {
+        let reg = register_current_thread();
+        let remote = reg.remote();
+        c.bench_function("serialize/membarrier_roundtrip", |b| {
+            b.iter(|| m.serialize_remote(&remote))
+        });
+    }
+
+    drop(target);
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

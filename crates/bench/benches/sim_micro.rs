@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for the simulator substrate itself: machine
+//! stepping throughput, the LE/ST link-break path, and exhaustive litmus
+//! exploration (the model-checking workload behind T1/T2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbmf_sim::prelude::*;
+
+fn machine_step_throughput(c: &mut Criterion) {
+    c.bench_function("sim/serial_dekker_1000_iters", |b| {
+        b.iter(|| {
+            let opt = DekkerOptions {
+                iters: 1000,
+                cs_mem_ops: true,
+                cs_work: 0,
+            };
+            let cfg = MachineConfig {
+                record_trace: false,
+                ..MachineConfig::default()
+            };
+            let mut m =
+                Machine::new(cfg, CostModel::default(), dekker_serial(FenceKind::Lmfence, opt));
+            assert!(m.run_pseudo_parallel(8, 10_000_000));
+            m.cpus[0].clock
+        })
+    });
+}
+
+fn link_break_roundtrip(c: &mut Criterion) {
+    c.bench_function("sim/lest_link_break", |b| {
+        b.iter(|| {
+            let mut b0 = ProgramBuilder::new("p");
+            b0.lmfence(L1, 1u64).halt();
+            let mut b1 = ProgramBuilder::new("s");
+            b1.ld(0, L1).halt();
+            let cfg = MachineConfig {
+                record_trace: false,
+                ..MachineConfig::default()
+            };
+            let mut m = Machine::new(cfg, CostModel::default(), vec![b0.build(), b1.build()]);
+            while !m.cpus[0].halted {
+                m.apply(Transition::Step(0));
+            }
+            m.apply(Transition::Step(1));
+            assert_eq!(m.cpus[1].regs[0], 1);
+        })
+    });
+}
+
+fn litmus_exploration(c: &mut Criterion) {
+    c.bench_function("sim/explore_sb_asymmetric", |b| {
+        b.iter(|| {
+            let m = Machine::for_checking(litmus_sb([FenceKind::Lmfence, FenceKind::Mfence]));
+            let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[0], m.cpus[1].regs[0]));
+            assert!(!r.has_outcome(&(0, 0)));
+            r.states_visited
+        })
+    });
+}
+
+criterion_group!(
+    group,
+    machine_step_throughput,
+    link_break_roundtrip,
+    litmus_exploration
+);
+criterion_main!(group);

@@ -1,0 +1,39 @@
+//! **E3** — Figure 4: the twelve benchmark applications and their inputs.
+//!
+//! Lists every kernel with its paper input and this reproduction's input
+//! at the chosen scale, runs each once on one worker, and prints the
+//! checksum (the determinism anchor used by the test suite).
+//!
+//! ```text
+//! cargo run --release -p lbmf-bench --bin fig4_table [--scale test|small|paper]
+//! ```
+
+use lbmf::strategy::Symmetric;
+use lbmf_bench::{Args, Table};
+use lbmf_cilk::bench::{Kernel, Scale};
+use lbmf_cilk::Scheduler;
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::parse();
+    let scale = match args.value("--scale").unwrap_or("test") {
+        "paper" => Scale::Paper,
+        "small" => Scale::Small,
+        _ => Scale::Test,
+    };
+
+    println!("E3: Figure 4 — the 12 benchmark applications (scale: {scale:?})\n");
+    let pool = Scheduler::new(1, Arc::new(Symmetric::new()));
+    let mut t = Table::new(&["benchmark", "paper input", "description", "checksum", "time"]);
+    for k in Kernel::all() {
+        let run = k.run_timed(&pool, scale);
+        t.row(&[
+            k.name().into(),
+            k.paper_input().into(),
+            k.description().into(),
+            format!("{:016x}", run.checksum),
+            format!("{:.1?}", run.elapsed),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,72 @@
+//! **E4** — Figure 5(a): relative *serial* execution time of the
+//! asymmetric runtime (ACilk-5) versus the symmetric baseline (Cilk-5) for
+//! the twelve benchmarks. This is a real measurement: with one worker the
+//! victim path dominates and the location-based fence removes an
+//! `mfence`-class fence from every pop.
+//!
+//! A value **below 1** means the benchmark runs faster on the asymmetric
+//! runtime — the paper's Figure 5(a) shows all twelve below 1, with the
+//! fine-grained `fib` family lowest ("the spawn overhead is cut by half").
+//!
+//! ```text
+//! cargo run --release -p lbmf-bench --bin fig5a_serial \
+//!     [--scale test|small|paper] [--reps N]
+//! ```
+
+use lbmf::strategy::{SignalFence, Symmetric};
+use lbmf_bench::{Args, Table};
+use lbmf_cilk::bench::{Kernel, Scale};
+use lbmf_cilk::Scheduler;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::parse();
+    let scale = match args.value("--scale").unwrap_or("small") {
+        "paper" => Scale::Paper,
+        "test" => Scale::Test,
+        _ => Scale::Small,
+    };
+    let reps: usize = args.get("--reps", 3);
+
+    println!("E4: Figure 5(a) — ACilk-5 / Cilk-5 relative serial execution time");
+    println!("(scale: {scale:?}, best of {reps}; below 1.0 = asymmetric wins)\n");
+
+    let sym = Scheduler::new(1, Arc::new(Symmetric::new()));
+    let asym = Scheduler::new(1, Arc::new(SignalFence::new()));
+
+    fn best<S: lbmf::strategy::FenceStrategy>(
+        pool: &Scheduler<S>,
+        k: Kernel,
+        scale: Scale,
+        reps: usize,
+    ) -> (Duration, u64) {
+        let mut best = Duration::MAX;
+        let mut checksum = 0;
+        for _ in 0..reps {
+            let r = k.run_timed(pool, scale);
+            best = best.min(r.elapsed);
+            checksum = r.checksum;
+        }
+        (best, checksum)
+    }
+
+    let mut t = Table::new(&["benchmark", "cilk-5 (mfence)", "acilk-5 (lbmf)", "ratio", "fences avoided"]);
+    for k in Kernel::all() {
+        sym.reset_stats();
+        let (t_sym, c_sym) = best(&sym, k, scale, reps);
+        asym.reset_stats();
+        let (t_asym, c_asym) = best(&asym, k, scale, reps);
+        assert_eq!(c_sym, c_asym, "{}: checksum mismatch across runtimes", k.name());
+        let avoided = asym.stats().fences_avoided();
+        t.row(&[
+            k.name().into(),
+            format!("{t_sym:.1?}"),
+            format!("{t_asym:.1?}"),
+            format!("{:.3}", t_asym.as_secs_f64() / t_sym.as_secs_f64()),
+            format!("{avoided}"),
+        ]);
+    }
+    t.print();
+    println!("\npaper shape: every ratio < 1; smallest for fib/fibx (fence per tiny spawn).");
+}

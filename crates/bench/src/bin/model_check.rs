@@ -1,0 +1,129 @@
+//! **T1 / T2 / T3** — the paper's formal results, checked by exhaustive
+//! interleaving exploration on the cycle-level TSO machine:
+//!
+//! * Theorem 4: the LE/ST mechanism implements the `l-mfence`
+//!   specification — wherever paired `mfence`s forbid the store-buffering
+//!   outcome, `l-mfence` pairings forbid it too.
+//! * Theorem 7: the asymmetric Dekker protocol provides mutual exclusion.
+//! * Section 2's ordering principles, via the MP / LB / 2+2W litmus tests.
+//!
+//! ```text
+//! cargo run --release -p lbmf-bench --bin model_check
+//! ```
+
+use lbmf_bench::Table;
+use lbmf_sim::prelude::*;
+
+fn sb_row(kinds: [FenceKind; 2]) -> (String, String, String, bool) {
+    let m = Machine::for_checking(litmus_sb(kinds));
+    let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[0], m.cpus[1].regs[0]));
+    let relaxed = r.has_outcome(&(0, 0));
+    (
+        format!("{} | {}", kinds[0].label(), kinds[1].label()),
+        format!("{:?}", r.outcomes.iter().collect::<Vec<_>>()),
+        format!("{}", r.states_visited),
+        relaxed,
+    )
+}
+
+fn dekker_row(kinds: [FenceKind; 2]) -> (String, usize, usize) {
+    let opt = DekkerOptions {
+        iters: 1,
+        cs_mem_ops: true,
+        cs_work: 0,
+    };
+    let m = Machine::for_checking(dekker_pair(kinds, opt));
+    let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[1], m.cpus[1].regs[1]));
+    (
+        format!("{} | {}", kinds[0].label(), kinds[1].label()),
+        r.mutex_violations,
+        r.states_visited,
+    )
+}
+
+fn main() {
+    println!("T1: store-buffering litmus (Dekker core) across fence pairings\n");
+    let mut t = Table::new(&["fences (P0 | P1)", "terminal outcomes (r0,r1)", "states", "0/0 reachable"]);
+    for kinds in [
+        [FenceKind::None, FenceKind::None],
+        [FenceKind::Mfence, FenceKind::None],
+        [FenceKind::None, FenceKind::Lmfence],
+        [FenceKind::Mfence, FenceKind::Mfence],
+        [FenceKind::Lmfence, FenceKind::Mfence],
+        [FenceKind::Mfence, FenceKind::Lmfence],
+        [FenceKind::Lmfence, FenceKind::Lmfence],
+    ] {
+        let (name, outcomes, states, relaxed) = sb_row(kinds);
+        t.row(&[
+            name,
+            outcomes,
+            states,
+            if relaxed { "YES (allowed)".into() } else { "no (forbidden)".into() },
+        ]);
+    }
+    t.print();
+
+    println!("\nT2: Dekker mutual exclusion (Theorem 7) across fence pairings\n");
+    let mut t = Table::new(&["fences (primary | secondary)", "mutex violations", "states"]);
+    for kinds in [
+        [FenceKind::None, FenceKind::None],
+        [FenceKind::Lmfence, FenceKind::None],
+        [FenceKind::Mfence, FenceKind::Mfence],
+        [FenceKind::Lmfence, FenceKind::Mfence],
+        [FenceKind::Lmfence, FenceKind::Lmfence],
+    ] {
+        let (name, violations, states) = dekker_row(kinds);
+        t.row(&[name, format!("{violations}"), format!("{states}")]);
+    }
+    t.print();
+
+    println!("\nT3: TSO ordering-principle litmus tests (Section 2)\n");
+    let mut t = Table::new(&["litmus", "forbidden outcome", "reachable?"]);
+    {
+        let m = Machine::for_checking(litmus_mp());
+        let r = Explorer::default().explore(m, |m| (m.cpus[1].regs[0], m.cpus[1].regs[1]));
+        t.row(&["MP (message passing)".into(), "(flag=1, data=0)".into(),
+            if r.has_outcome(&(1, 0)) { "REACHABLE (BUG)".into() } else { "no".into() }]);
+    }
+    {
+        let m = Machine::for_checking(litmus_lb());
+        let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[0], m.cpus[1].regs[0]));
+        t.row(&["LB (load buffering)".into(), "(1, 1)".into(),
+            if r.has_outcome(&(1, 1)) { "REACHABLE (BUG)".into() } else { "no".into() }]);
+    }
+    {
+        let m = Machine::for_checking(litmus_2_2w());
+        let r = Explorer::default().explore(m, |m| (m.coherent_word(L1), m.coherent_word(L2)));
+        t.row(&["2+2W".into(), "(L1=1, L2=1)".into(),
+            if r.has_outcome(&(1, 1)) { "REACHABLE (BUG)".into() } else { "no".into() }]);
+    }
+    t.print();
+
+    // A concrete counterexample: the shortest-found interleaving that
+    // breaks the unfenced protocol, replayed with full tracing.
+    println!("\ncounterexample for the unfenced protocol (explorer-extracted schedule):\n");
+    let opt = DekkerOptions {
+        iters: 1,
+        cs_mem_ops: false,
+        cs_work: 0,
+    };
+    let progs = dekker_pair([FenceKind::None, FenceKind::None], opt);
+    let m = Machine::for_checking(progs.clone());
+    let cfg = m.cfg;
+    if let Some(path) = Explorer::default().find_shortest_violation(m) {
+        let replayed = replay(cfg, progs, &path);
+        for e in replayed.trace.iter() {
+            println!("  {e}");
+        }
+        println!(
+            "\n(cpu0's flag store sits in its store buffer while cpu1 reads 0 — \
+             the reordering Figure 1 cannot tolerate)"
+        );
+    }
+
+    println!(
+        "\nverdict: the unfenced Figure-1 idiom is broken under TSO; every \
+         paired fence placement — including the asymmetric l-mfence/mfence \
+         pairing of Figure 3(a) — restores mutual exclusion."
+    );
+}

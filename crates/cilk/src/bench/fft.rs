@@ -1,0 +1,184 @@
+//! `fft`: recursive radix-2 Cooley-Tukey over complex doubles.
+//!
+//! The recursion splits into even/odd halves through a scratch buffer and
+//! descends both halves in parallel; below the cutoff it runs sequentially
+//! (same function, no joins). Sizes must be powers of two.
+
+use crate::bench::f64_checksum;
+use crate::scheduler::WorkerCtx;
+use lbmf::strategy::FenceStrategy;
+
+const FFT_CUTOFF: usize = 256;
+
+/// A complex double.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from real/imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// Deterministic input signal.
+pub fn make_input(n: usize) -> Vec<Complex> {
+    assert!(n.is_power_of_two());
+    let mut x = 0x2545F4914F6CDD1Du64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let re = ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            let im = ((x.wrapping_mul(0x9E3779B97F4A7C15) >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            Complex::new(re, im)
+        })
+        .collect()
+}
+
+/// In-place FFT of `data` (power-of-two length); returns a checksum over
+/// the spectrum.
+pub fn fft<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, data: &mut [Complex]) -> u64 {
+    assert!(data.len().is_power_of_two());
+    let mut scratch = vec![Complex::default(); data.len()];
+    fft_rec(ctx, data, &mut scratch, true);
+    // Checksum: bounded-precision digest of a spectrum sample.
+    let step = (data.len() / 64).max(1);
+    let mut acc = 0u64;
+    for c in data.iter().step_by(step) {
+        acc = acc
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(f64_checksum(c.re) ^ f64_checksum(c.im).rotate_left(17));
+    }
+    acc
+}
+
+fn fft_rec<S: FenceStrategy>(
+    ctx: &WorkerCtx<'_, S>,
+    data: &mut [Complex],
+    scratch: &mut [Complex],
+    parallel: bool,
+) {
+    let n = data.len();
+    if n == 1 {
+        return;
+    }
+    let half = n / 2;
+    // Deinterleave even/odd into scratch halves.
+    for i in 0..half {
+        scratch[i] = data[2 * i];
+        scratch[half + i] = data[2 * i + 1];
+    }
+    {
+        let (even, odd) = scratch.split_at_mut(half);
+        let (de, do_) = data.split_at_mut(half);
+        if parallel && n > FFT_CUTOFF {
+            ctx.join(
+                |c| fft_rec(c, even, de, true),
+                |c| fft_rec(c, odd, do_, true),
+            );
+        } else {
+            fft_rec(ctx, even, de, false);
+            fft_rec(ctx, odd, do_, false);
+        }
+    }
+    // Combine with twiddle factors.
+    let theta = -2.0 * std::f64::consts::PI / n as f64;
+    for k in 0..half {
+        let tw = Complex::new((theta * k as f64).cos(), (theta * k as f64).sin());
+        let e = scratch[k];
+        let o = tw.mul(scratch[half + k]);
+        data[k] = e.add(o);
+        data[half + k] = e.sub(o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use lbmf::strategy::Symmetric;
+    use std::sync::Arc;
+
+    /// Reference O(n²) DFT.
+    fn dft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (j, &x) in input.iter().enumerate() {
+                    let th = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc = acc.add(x.mul(Complex::new(th.cos(), th.sin())));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        let s = Scheduler::new(2, Arc::new(Symmetric::new()));
+        let input = make_input(64);
+        let expected = dft(&input);
+        let mut data = input.clone();
+        s.run(|ctx| fft(ctx, &mut data));
+        for (a, b) in data.iter().zip(expected.iter()) {
+            assert!((a.re - b.re).abs() < 1e-9, "{a:?} vs {b:?}");
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let s = Scheduler::new(3, Arc::new(Symmetric::new()));
+        let input = make_input(4096);
+        let time_energy: f64 = input.iter().map(|c| c.norm_sq()).sum();
+        let mut data = input.clone();
+        s.run(|ctx| fft(ctx, &mut data));
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sq()).sum::<f64>() / data.len() as f64;
+        assert!(
+            (time_energy - freq_energy).abs() / time_energy < 1e-9,
+            "Parseval violated: {time_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let s = Scheduler::new(1, Arc::new(Symmetric::new()));
+        let mut data = vec![Complex::default(); 1024];
+        data[0] = Complex::new(1.0, 0.0);
+        s.run(|ctx| fft(ctx, &mut data));
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-9 && c.im.abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! `fib` and `fibx`: the spawn-overhead probes.
+//!
+//! `fib` has no sequential cutoff on purpose — the paper uses it to measure
+//! raw spawn overhead ("fib is specifically designed to measure the spawn
+//! overhead, and the number suggests that the spawn overhead is cut by half
+//! if one could avoid the fence").
+//!
+//! `fibx` is a deep spine: at each of `depth` levels it joins the rest of
+//! the spine against one small `fib(leaf)` — the "alternate between
+//! fib(n-1) and fib(n-40)" shape: long dependence chain, constant supply of
+//! small stealable tasks.
+
+use crate::scheduler::WorkerCtx;
+use lbmf::strategy::FenceStrategy;
+
+/// Recursive Fibonacci with a join per node.
+pub fn fib<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = ctx.join(|c| fib(c, n - 1), |c| fib(c, n - 2));
+    a + b
+}
+
+/// Sequential Fibonacci (reference / baseline measurements).
+pub fn fib_seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_seq(n - 1) + fib_seq(n - 2)
+    }
+}
+
+/// The deep-spine variant: `depth` levels, each joining the remaining
+/// spine against `fib(leaf)`.
+pub fn fibx<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, depth: u64, leaf: u64) -> u64 {
+    if depth == 0 {
+        return 0;
+    }
+    let (rest, small) = ctx.join(|c| fibx(c, depth - 1, leaf), |c| fib(c, leaf));
+    rest.wrapping_add(small)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use lbmf::strategy::Symmetric;
+    use std::sync::Arc;
+
+    #[test]
+    fn fib_matches_sequential() {
+        let s = Scheduler::new(2, Arc::new(Symmetric::new()));
+        for n in [0u64, 1, 2, 10, 20] {
+            assert_eq!(s.run(|ctx| fib(ctx, n)), fib_seq(n));
+        }
+    }
+
+    #[test]
+    fn fibx_is_depth_times_leaf_fib() {
+        let s = Scheduler::new(2, Arc::new(Symmetric::new()));
+        let r = s.run(|ctx| fibx(ctx, 10, 7));
+        assert_eq!(r, 10 * fib_seq(7));
+    }
+}

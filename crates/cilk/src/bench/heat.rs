@@ -1,0 +1,163 @@
+//! `heat`: Jacobi heat diffusion on a 2D grid.
+//!
+//! Each timestep computes the 5-point stencil from the previous grid into
+//! the next (double buffering); the row range is divided recursively and
+//! the halves run in parallel. Boundary rows/columns are held fixed.
+
+use crate::bench::f64_checksum;
+use crate::scheduler::WorkerCtx;
+use lbmf::strategy::FenceStrategy;
+
+const ROW_CUTOFF: usize = 16;
+
+/// Run `steps` Jacobi iterations on an `nx` × `ny` grid; returns a
+/// checksum over the final temperature field.
+pub fn heat<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, nx: usize, ny: usize, steps: usize) -> u64 {
+    assert!(nx >= 3 && ny >= 3);
+    let mut cur = init_grid(nx, ny);
+    let mut next = cur.clone();
+    for _ in 0..steps {
+        {
+            let src = &cur;
+            let dst = &mut next;
+            // Interior rows 1..nx-1, divided recursively.
+            step_rows(ctx, src, dst, ny, 1, nx - 1);
+        }
+        // Copy boundaries (they are fixed; the stencil never writes them).
+        for j in 0..ny {
+            next[j] = cur[j];
+            next[(nx - 1) * ny + j] = cur[(nx - 1) * ny + j];
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    let step = (cur.len() / 256).max(1);
+    let mut acc = 0u64;
+    for &v in cur.iter().step_by(step) {
+        acc = acc.wrapping_mul(0x100000001b3).wrapping_add(f64_checksum(v));
+    }
+    acc
+}
+
+fn init_grid(nx: usize, ny: usize) -> Vec<f64> {
+    let mut g = vec![0.0; nx * ny];
+    // Hot top edge, cold bottom, sinusoidal left/right.
+    for cell in g.iter_mut().take(ny) {
+        *cell = 100.0;
+    }
+    for i in 0..nx {
+        let t = i as f64 / nx as f64;
+        g[i * ny] = 50.0 * (std::f64::consts::PI * t).sin();
+        g[i * ny + ny - 1] = 25.0 * (2.0 * std::f64::consts::PI * t).sin();
+    }
+    g
+}
+
+/// Wrapper making a raw grid pointer sendable across the join; the row
+/// ranges written by the two branches are disjoint, and reads target the
+/// immutable previous-step grid.
+#[derive(Clone, Copy)]
+struct GridPtr(*mut f64);
+unsafe impl Send for GridPtr {}
+unsafe impl Sync for GridPtr {}
+
+fn step_rows<S: FenceStrategy>(
+    ctx: &WorkerCtx<'_, S>,
+    src: &[f64],
+    dst: &mut [f64],
+    ny: usize,
+    lo: usize,
+    hi: usize,
+) {
+    let dst_ptr = GridPtr(dst.as_mut_ptr());
+    step_rows_raw(ctx, src, dst_ptr, ny, lo, hi);
+}
+
+fn step_rows_raw<S: FenceStrategy>(
+    ctx: &WorkerCtx<'_, S>,
+    src: &[f64],
+    dst: GridPtr,
+    ny: usize,
+    lo: usize,
+    hi: usize,
+) {
+    if hi - lo <= ROW_CUTOFF {
+        for i in lo..hi {
+            for j in 1..ny - 1 {
+                let idx = i * ny + j;
+                let v = 0.25
+                    * (src[idx - ny] + src[idx + ny] + src[idx - 1] + src[idx + 1]);
+                // SAFETY: rows [lo, hi) are written exclusively by this
+                // branch; sibling branches cover disjoint ranges.
+                unsafe { *dst.0.add(idx) = v };
+            }
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    ctx.join(
+        |c| step_rows_raw(c, src, dst, ny, lo, mid),
+        |c| step_rows_raw(c, src, dst, ny, mid, hi),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use lbmf::strategy::Symmetric;
+    use std::sync::Arc;
+
+    /// Sequential reference implementation.
+    fn heat_seq(nx: usize, ny: usize, steps: usize) -> Vec<f64> {
+        let mut cur = init_grid(nx, ny);
+        let mut next = cur.clone();
+        for _ in 0..steps {
+            for i in 1..nx - 1 {
+                for j in 1..ny - 1 {
+                    let idx = i * ny + j;
+                    next[idx] =
+                        0.25 * (cur[idx - ny] + cur[idx + ny] + cur[idx - 1] + cur[idx + 1]);
+                }
+            }
+            for j in 0..ny {
+                next[j] = cur[j];
+                next[(nx - 1) * ny + j] = cur[(nx - 1) * ny + j];
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let s = Scheduler::new(3, Arc::new(Symmetric::new()));
+        let par = s.run(|ctx| heat(ctx, 40, 30, 12));
+        // Recompute the checksum from the sequential grid.
+        let seq = heat_seq(40, 30, 12);
+        let step = (seq.len() / 256).max(1);
+        let mut acc = 0u64;
+        for &v in seq.iter().step_by(step) {
+            acc = acc.wrapping_mul(0x100000001b3).wrapping_add(f64_checksum(v));
+        }
+        assert_eq!(par, acc);
+    }
+
+    #[test]
+    fn zero_steps_returns_initial_grid_checksum() {
+        let s = Scheduler::new(1, Arc::new(Symmetric::new()));
+        let a = s.run(|ctx| heat(ctx, 16, 16, 0));
+        let b = s.run(|ctx| heat(ctx, 16, 16, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diffusion_smooths_toward_interior() {
+        // After many steps, an interior point near the hot edge warms up.
+        let nx = 32;
+        let ny = 32;
+        let g0 = heat_seq(nx, ny, 0);
+        let g = heat_seq(nx, ny, 200);
+        let probe = 3 * ny + ny / 2; // row 3, middle column
+        assert!(g[probe] > g0[probe], "heat must diffuse inward");
+    }
+}

@@ -1,0 +1,158 @@
+//! `knapsack`: branch-and-bound 0/1 knapsack.
+//!
+//! Include/exclude branches run in parallel near the root; a shared
+//! best-so-far bound (relaxed atomic max) prunes. Pruning makes the *work*
+//! nondeterministic, but the returned optimum is unique, so the checksum is
+//! still strategy- and schedule-independent.
+
+use crate::scheduler::WorkerCtx;
+use lbmf::strategy::FenceStrategy;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const PARALLEL_DEPTH: usize = 8;
+
+/// Problem instance: items sorted by value density (for the bound).
+#[derive(Clone, Debug)]
+pub struct KnapsackInput {
+    /// (weight, value), sorted by value/weight descending.
+    pub items: Vec<(u64, u64)>,
+    /// Knapsack weight capacity.
+    pub capacity: u64,
+}
+
+/// Deterministic instance generator in the style of the Cilk benchmark's
+/// inputs (random weights/values, capacity at half the total weight).
+pub fn make_input(n: usize) -> KnapsackInput {
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let mut items: Vec<(u64, u64)> = (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let w = 1 + (x % 97);
+            let v = 1 + ((x >> 32) % 151);
+            (w, v)
+        })
+        .collect();
+    items.sort_by(|a, b| (b.1 * a.0).cmp(&(a.1 * b.0)));
+    let capacity = items.iter().map(|i| i.0).sum::<u64>() / 2;
+    KnapsackInput { items, capacity }
+}
+
+/// Solve; returns the optimal value.
+pub fn knapsack<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, input: &KnapsackInput) -> u64 {
+    let best = AtomicU64::new(0);
+    branch(ctx, input, 0, 0, 0, &best);
+    best.load(Ordering::Relaxed)
+}
+
+/// Fractional-relaxation upper bound from item `idx` onward.
+fn bound(input: &KnapsackInput, idx: usize, weight: u64, value: u64) -> f64 {
+    let mut cap = input.capacity.saturating_sub(weight) as f64;
+    let mut b = value as f64;
+    for &(w, v) in &input.items[idx..] {
+        if cap <= 0.0 {
+            break;
+        }
+        let take = (w as f64).min(cap);
+        b += v as f64 * take / w as f64;
+        cap -= take;
+    }
+    b
+}
+
+fn branch<S: FenceStrategy>(
+    ctx: &WorkerCtx<'_, S>,
+    input: &KnapsackInput,
+    idx: usize,
+    weight: u64,
+    value: u64,
+    best: &AtomicU64,
+) {
+    if weight > input.capacity {
+        return;
+    }
+    // Publish improvements (relaxed max loop).
+    let mut cur = best.load(Ordering::Relaxed);
+    while value > cur {
+        match best.compare_exchange_weak(cur, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+    if idx == input.items.len() {
+        return;
+    }
+    if bound(input, idx, weight, value) <= best.load(Ordering::Relaxed) as f64 {
+        return; // prune
+    }
+    let (w, v) = input.items[idx];
+    if idx < PARALLEL_DEPTH {
+        ctx.join(
+            |c| branch(c, input, idx + 1, weight + w, value + v, best),
+            |c| branch(c, input, idx + 1, weight, value, best),
+        );
+    } else {
+        branch(ctx, input, idx + 1, weight + w, value + v, best);
+        branch(ctx, input, idx + 1, weight, value, best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use lbmf::strategy::Symmetric;
+    use std::sync::Arc;
+
+    /// Exhaustive reference for small instances.
+    fn brute_force(input: &KnapsackInput) -> u64 {
+        let n = input.items.len();
+        let mut best = 0;
+        for mask in 0u64..(1 << n) {
+            let (mut w, mut v) = (0u64, 0u64);
+            for (i, &(wi, vi)) in input.items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    w += wi;
+                    v += vi;
+                }
+            }
+            if w <= input.capacity {
+                best = best.max(v);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let s = Scheduler::new(2, Arc::new(Symmetric::new()));
+        for n in [8usize, 12, 16] {
+            let input = make_input(n);
+            let expected = brute_force(&input);
+            let got = s.run(|ctx| knapsack(ctx, &input));
+            assert_eq!(got, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_capacity() {
+        let s = Scheduler::new(1, Arc::new(Symmetric::new()));
+        let empty = KnapsackInput { items: vec![], capacity: 10 };
+        assert_eq!(s.run(|ctx| knapsack(ctx, &empty)), 0);
+        let tight = KnapsackInput {
+            items: vec![(5, 10), (3, 7)],
+            capacity: 0,
+        };
+        assert_eq!(s.run(|ctx| knapsack(ctx, &tight)), 0);
+    }
+
+    #[test]
+    fn deterministic_optimum_across_runs() {
+        let s = Scheduler::new(4, Arc::new(Symmetric::new()));
+        let input = make_input(22);
+        let a = s.run(|ctx| knapsack(ctx, &input));
+        let b = s.run(|ctx| knapsack(ctx, &input));
+        assert_eq!(a, b);
+    }
+}

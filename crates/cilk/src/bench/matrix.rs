@@ -1,0 +1,793 @@
+//! Dense matrix kernels: `matmul`, `rectmul`, `strassen`, `lu`, and
+//! `cholesky`.
+//!
+//! All kernels are divide-and-conquer over matrix *views* — raw
+//! pointer/stride windows into a row-major buffer. Views are `Copy` and
+//! `Send`; safety rests on the recursion structure: sibling `join` branches
+//! always write **disjoint** windows (split rows, split columns, or
+//! different quadrants), and read-only inputs are never aliased by a
+//! concurrent writer. Each unsafe access is justified at the split site.
+//!
+//! The paper's `cholesky` benchmark is a *sparse* factorization; we
+//! substitute the dense recursive Cholesky, which exercises the same
+//! spawn/sync structure on the same runtime paths (see DESIGN.md).
+
+use crate::bench::f64_checksum;
+use crate::scheduler::WorkerCtx;
+use lbmf::strategy::FenceStrategy;
+
+/// Sequential base-case edge for the multiply recursion.
+const MM_BASE: usize = 32;
+/// Base size for the triangular/factorization recursions.
+const FACT_BASE: usize = 32;
+/// Strassen switches to the regular multiply below this size.
+const STRASSEN_BASE: usize = 64;
+
+// ---------------------------------------------------------------------
+// Owned matrix + views
+// ---------------------------------------------------------------------
+
+/// An owned row-major matrix.
+#[derive(Clone, Debug)]
+pub struct Matrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major element storage (`rows * cols` values).
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zeros matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Deterministic pseudo-random entries in [-0.5, 0.5).
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut x = seed | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Symmetric positive-definite matrix (symmetric random + dominant
+    /// diagonal, SPD by Gershgorin).
+    pub fn spd(n: usize, seed: u64) -> Self {
+        let r = Matrix::random(n, n, seed);
+        let mut a = Matrix::zero(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = 0.5 * (r.data[i * n + j] + r.data[j * n + i]);
+                a.data[i * n + j] = v;
+            }
+        }
+        for i in 0..n {
+            a.data[i * n + i] += n as f64;
+        }
+        a
+    }
+
+    /// Diagonally dominant matrix (safe for LU without pivoting).
+    pub fn diag_dominant(n: usize, seed: u64) -> Self {
+        let mut a = Matrix::random(n, n, seed);
+        for i in 0..n {
+            a.data[i * n + i] += n as f64;
+        }
+        a
+    }
+
+    /// A read-only view of the whole matrix.
+    pub fn view(&self) -> MatView {
+        MatView {
+            ptr: self.data.as_ptr(),
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+        }
+    }
+
+    /// A mutable view of the whole matrix.
+    pub fn view_mut(&mut self) -> MatViewMut {
+        MatViewMut {
+            ptr: self.data.as_mut_ptr(),
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+        }
+    }
+
+    /// Element `(i, j)`.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Bounded-precision digest used as benchmark checksum.
+    pub fn checksum(&self) -> u64 {
+        let step = (self.data.len() / 256).max(1);
+        let mut acc = 0u64;
+        for &v in self.data.iter().step_by(step) {
+            acc = acc.wrapping_mul(0x100000001b3).wrapping_add(f64_checksum(v));
+        }
+        acc
+    }
+}
+
+/// A read-only window into a matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct MatView {
+    ptr: *const f64,
+    /// Rows visible through this window.
+    pub rows: usize,
+    /// Columns visible through this window.
+    pub cols: usize,
+    stride: usize,
+}
+
+// SAFETY: views are only sent into join branches that respect the
+// disjointness discipline documented at module level.
+unsafe impl Send for MatView {}
+unsafe impl Sync for MatView {}
+
+impl MatView {
+    #[inline]
+    unsafe fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(i * self.stride + j)
+    }
+
+    fn sub(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatView {
+        debug_assert!(r0 + rows <= self.rows && c0 + cols <= self.cols);
+        MatView {
+            ptr: unsafe { self.ptr.add(r0 * self.stride + c0) },
+            rows,
+            cols,
+            stride: self.stride,
+        }
+    }
+
+    fn split_rows(&self, r: usize) -> (MatView, MatView) {
+        (self.sub(0, 0, r, self.cols), self.sub(r, 0, self.rows - r, self.cols))
+    }
+
+    fn split_cols(&self, c: usize) -> (MatView, MatView) {
+        (self.sub(0, 0, self.rows, c), self.sub(0, c, self.rows, self.cols - c))
+    }
+
+    fn quad(&self, r: usize, c: usize) -> (MatView, MatView, MatView, MatView) {
+        (
+            self.sub(0, 0, r, c),
+            self.sub(0, c, r, self.cols - c),
+            self.sub(r, 0, self.rows - r, c),
+            self.sub(r, c, self.rows - r, self.cols - c),
+        )
+    }
+}
+
+/// A mutable window into a matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct MatViewMut {
+    ptr: *mut f64,
+    /// Rows visible through this window.
+    pub rows: usize,
+    /// Columns visible through this window.
+    pub cols: usize,
+    stride: usize,
+}
+
+// SAFETY: see MatView; additionally, sibling branches never receive
+// overlapping mutable windows.
+unsafe impl Send for MatViewMut {}
+unsafe impl Sync for MatViewMut {}
+
+impl MatViewMut {
+    #[inline]
+    unsafe fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(i * self.stride + j)
+    }
+
+    #[inline]
+    unsafe fn set(&self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(i * self.stride + j) = v;
+    }
+
+    fn as_view(&self) -> MatView {
+        MatView {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+        }
+    }
+
+    fn sub(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatViewMut {
+        debug_assert!(r0 + rows <= self.rows && c0 + cols <= self.cols);
+        MatViewMut {
+            ptr: unsafe { self.ptr.add(r0 * self.stride + c0) },
+            rows,
+            cols,
+            stride: self.stride,
+        }
+    }
+
+    fn split_rows(&self, r: usize) -> (MatViewMut, MatViewMut) {
+        (self.sub(0, 0, r, self.cols), self.sub(r, 0, self.rows - r, self.cols))
+    }
+
+    fn split_cols(&self, c: usize) -> (MatViewMut, MatViewMut) {
+        (self.sub(0, 0, self.rows, c), self.sub(0, c, self.rows, self.cols - c))
+    }
+
+    fn quad(&self, r: usize, c: usize) -> (MatViewMut, MatViewMut, MatViewMut, MatViewMut) {
+        (
+            self.sub(0, 0, r, c),
+            self.sub(0, c, r, self.cols - c),
+            self.sub(r, 0, self.rows - r, c),
+            self.sub(r, c, self.rows - r, self.cols - c),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multiply: C (+|-)= A · B, divide-and-conquer over the largest dimension
+// ---------------------------------------------------------------------
+
+fn mm_base(a: MatView, b: MatView, c: MatViewMut, sign: f64) {
+    // i-k-j loop order for stride-friendly inner loop.
+    for i in 0..a.rows {
+        for k in 0..a.cols {
+            // SAFETY: base case owns the whole window `c` exclusively.
+            let aik = unsafe { a.at(i, k) } * sign;
+            for j in 0..b.cols {
+                unsafe {
+                    c.set(i, j, c.at(i, j) + aik * b.at(k, j));
+                }
+            }
+        }
+    }
+}
+
+/// `C += sign · A·B`, parallel over row/column splits; the shared-K split
+/// runs its two halves sequentially (they accumulate into the same `C`).
+fn mm_rec<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, a: MatView, b: MatView, c: MatViewMut, sign: f64) {
+    debug_assert_eq!(a.cols, b.rows);
+    debug_assert_eq!(a.rows, c.rows);
+    debug_assert_eq!(b.cols, c.cols);
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    if m <= MM_BASE && k <= MM_BASE && n <= MM_BASE {
+        mm_base(a, b, c, sign);
+        return;
+    }
+    if m >= k && m >= n {
+        // Split rows of A and C: the two branches write disjoint C rows.
+        let mid = m / 2;
+        let (a1, a2) = a.split_rows(mid);
+        let (c1, c2) = c.split_rows(mid);
+        ctx.join(
+            move |cx| mm_rec(cx, a1, b, c1, sign),
+            move |cx| mm_rec(cx, a2, b, c2, sign),
+        );
+    } else if n >= k {
+        // Split columns of B and C: disjoint C columns.
+        let mid = n / 2;
+        let (b1, b2) = b.split_cols(mid);
+        let (c1, c2) = c.split_cols(mid);
+        ctx.join(
+            move |cx| mm_rec(cx, a, b1, c1, sign),
+            move |cx| mm_rec(cx, a, b2, c2, sign),
+        );
+    } else {
+        // Split the shared dimension: both halves accumulate into the same
+        // C, so run them in sequence (as Cilk's rectmul does).
+        let mid = k / 2;
+        let (a1, a2) = a.split_cols(mid);
+        let (b1, b2) = b.split_rows(mid);
+        mm_rec(ctx, a1, b1, c, sign);
+        mm_rec(ctx, a2, b2, c, sign);
+    }
+}
+
+/// `C += A·B` (public entry for other kernels).
+pub fn matmul_add<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, a: MatView, b: MatView, c: MatViewMut) {
+    mm_rec(ctx, a, b, c, 1.0);
+}
+
+/// `C -= A·B`.
+pub fn matmul_sub<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, a: MatView, b: MatView, c: MatViewMut) {
+    mm_rec(ctx, a, b, c, -1.0);
+}
+
+/// The `matmul` benchmark: square C = A·B.
+pub fn matmul_bench<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, n: usize) -> u64 {
+    let a = Matrix::random(n, n, 0xA11CE);
+    let b = Matrix::random(n, n, 0xB0B);
+    let mut c = Matrix::zero(n, n);
+    matmul_add(ctx, a.view(), b.view(), c.view_mut());
+    c.checksum()
+}
+
+/// The `rectmul` benchmark: rectangular C = A·B.
+pub fn rectmul_bench<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, m: usize, k: usize, n: usize) -> u64 {
+    let a = Matrix::random(m, k, 0xFACE);
+    let b = Matrix::random(k, n, 0xF00D);
+    let mut c = Matrix::zero(m, n);
+    matmul_add(ctx, a.view(), b.view(), c.view_mut());
+    c.checksum()
+}
+
+// ---------------------------------------------------------------------
+// Strassen
+// ---------------------------------------------------------------------
+
+fn add_views(a: MatView, b: MatView) -> Matrix {
+    let mut out = Matrix::zero(a.rows, a.cols);
+    for i in 0..a.rows {
+        for j in 0..a.cols {
+            // SAFETY: in-bounds by construction; `out` is freshly owned.
+            out.data[i * a.cols + j] = unsafe { a.at(i, j) + b.at(i, j) };
+        }
+    }
+    out
+}
+
+fn sub_views(a: MatView, b: MatView) -> Matrix {
+    let mut out = Matrix::zero(a.rows, a.cols);
+    for i in 0..a.rows {
+        for j in 0..a.cols {
+            out.data[i * a.cols + j] = unsafe { a.at(i, j) - b.at(i, j) };
+        }
+    }
+    out
+}
+
+/// Strassen multiply: `C = A·B` for power-of-two square matrices.
+pub fn strassen<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, a: MatView, b: MatView, c: MatViewMut) {
+    let n = a.rows;
+    debug_assert!(n.is_power_of_two());
+    if n <= STRASSEN_BASE {
+        mm_base(a, b, c, 1.0);
+        return;
+    }
+    let h = n / 2;
+    let (a11, a12, a21, a22) = a.quad(h, h);
+    let (b11, b12, b21, b22) = b.quad(h, h);
+
+    // The seven products, computed as a parallel join tree; each closure
+    // builds its own operand temporaries and output.
+    let m1 = move |cx: &WorkerCtx<'_, S>| {
+        let l = add_views(a11, a22);
+        let r = add_views(b11, b22);
+        let mut m = Matrix::zero(h, h);
+        strassen(cx, l.view(), r.view(), m.view_mut());
+        m
+    };
+    let m2 = move |cx: &WorkerCtx<'_, S>| {
+        let l = add_views(a21, a22);
+        let mut m = Matrix::zero(h, h);
+        strassen(cx, l.view(), b11, m.view_mut());
+        m
+    };
+    let m3 = move |cx: &WorkerCtx<'_, S>| {
+        let r = sub_views(b12, b22);
+        let mut m = Matrix::zero(h, h);
+        strassen(cx, a11, r.view(), m.view_mut());
+        m
+    };
+    let m4 = move |cx: &WorkerCtx<'_, S>| {
+        let r = sub_views(b21, b11);
+        let mut m = Matrix::zero(h, h);
+        strassen(cx, a22, r.view(), m.view_mut());
+        m
+    };
+    let m5 = move |cx: &WorkerCtx<'_, S>| {
+        let l = add_views(a11, a12);
+        let mut m = Matrix::zero(h, h);
+        strassen(cx, l.view(), b22, m.view_mut());
+        m
+    };
+    let m6 = move |cx: &WorkerCtx<'_, S>| {
+        let l = sub_views(a21, a11);
+        let r = add_views(b11, b12);
+        let mut m = Matrix::zero(h, h);
+        strassen(cx, l.view(), r.view(), m.view_mut());
+        m
+    };
+    let m7 = move |cx: &WorkerCtx<'_, S>| {
+        let l = sub_views(a12, a22);
+        let r = add_views(b21, b22);
+        let mut m = Matrix::zero(h, h);
+        strassen(cx, l.view(), r.view(), m.view_mut());
+        m
+    };
+
+    // Join tree over the seven products.
+    let ((p1, (p2, p3)), ((p4, p5), (p6, p7))) = ctx.join(
+        |cx| cx.join(m1, |cy| cy.join(m2, m3)),
+        |cx| cx.join(|cy| cy.join(m4, m5), |cy| cy.join(m6, m7)),
+    );
+
+    let (c11, c12, c21, c22) = c.quad(h, h);
+    // SAFETY: the four quadrants are disjoint windows of `c`; each loop
+    // writes only its own quadrant.
+    for i in 0..h {
+        for j in 0..h {
+            let idx = i * h + j;
+            unsafe {
+                c11.set(i, j, p1.data[idx] + p4.data[idx] - p5.data[idx] + p7.data[idx]);
+                c12.set(i, j, p3.data[idx] + p5.data[idx]);
+                c21.set(i, j, p2.data[idx] + p4.data[idx]);
+                c22.set(i, j, p1.data[idx] - p2.data[idx] + p3.data[idx] + p6.data[idx]);
+            }
+        }
+    }
+}
+
+/// The `strassen` benchmark.
+pub fn strassen_bench<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, n: usize) -> u64 {
+    assert!(n.is_power_of_two(), "strassen requires a power-of-two size");
+    let a = Matrix::random(n, n, 0x57A55E);
+    let b = Matrix::random(n, n, 0x57A55F);
+    let mut c = Matrix::zero(n, n);
+    strassen(ctx, a.view(), b.view(), c.view_mut());
+    c.checksum()
+}
+
+// ---------------------------------------------------------------------
+// LU (no pivoting; inputs are diagonally dominant)
+// ---------------------------------------------------------------------
+
+fn lu_base(a: MatViewMut) {
+    let n = a.rows;
+    for k in 0..n {
+        // SAFETY: the base case owns the window exclusively.
+        unsafe {
+            let pivot = a.at(k, k);
+            debug_assert!(pivot.abs() > 1e-12, "zero pivot in LU base case");
+            for i in k + 1..n {
+                let l = a.at(i, k) / pivot;
+                a.set(i, k, l);
+                for j in k + 1..n {
+                    a.set(i, j, a.at(i, j) - l * a.at(k, j));
+                }
+            }
+        }
+    }
+}
+
+/// Solve `L · X = B` in place (`B := L⁻¹B`) where `L` is the unit-lower
+/// triangle of a factored block. Parallel over B's columns.
+fn lower_solve<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, l: MatView, b: MatViewMut) {
+    if b.cols > FACT_BASE {
+        let mid = b.cols / 2;
+        let (b1, b2) = b.split_cols(mid);
+        ctx.join(
+            move |cx| lower_solve(cx, l, b1),
+            move |cx| lower_solve(cx, l, b2),
+        );
+        return;
+    }
+    let n = l.rows;
+    for j in 0..b.cols {
+        for i in 0..n {
+            // SAFETY: this branch exclusively owns B's column window.
+            unsafe {
+                let mut v = b.at(i, j);
+                for k in 0..i {
+                    v -= l.at(i, k) * b.at(k, j);
+                }
+                b.set(i, j, v); // unit diagonal
+            }
+        }
+    }
+}
+
+/// Solve `X · U = B` in place (`B := B·U⁻¹`). Parallel over B's rows.
+fn upper_solve<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, u: MatView, b: MatViewMut) {
+    if b.rows > FACT_BASE {
+        let mid = b.rows / 2;
+        let (b1, b2) = b.split_rows(mid);
+        ctx.join(
+            move |cx| upper_solve(cx, u, b1),
+            move |cx| upper_solve(cx, u, b2),
+        );
+        return;
+    }
+    let n = u.rows;
+    for i in 0..b.rows {
+        for j in 0..n {
+            // SAFETY: exclusive row window.
+            unsafe {
+                let mut v = b.at(i, j);
+                for k in 0..j {
+                    v -= b.at(i, k) * u.at(k, j);
+                }
+                b.set(i, j, v / u.at(j, j));
+            }
+        }
+    }
+}
+
+/// Recursive blocked LU in place: A = L·U with L unit-lower.
+pub fn lu<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, a: MatViewMut) {
+    let n = a.rows;
+    debug_assert_eq!(a.rows, a.cols);
+    if n <= FACT_BASE {
+        lu_base(a);
+        return;
+    }
+    let h = n / 2;
+    let (a11, a12, a21, a22) = a.quad(h, h);
+    lu(ctx, a11);
+    let u11 = a11.as_view();
+    // The two solves touch disjoint quadrants.
+    ctx.join(
+        move |cx| lower_solve(cx, u11, a12),
+        move |cx| upper_solve(cx, u11, a21),
+    );
+    // Schur complement: A22 -= A21 · A12.
+    matmul_sub(ctx, a21.as_view(), a12.as_view(), a22);
+    lu(ctx, a22);
+}
+
+/// The `lu` benchmark.
+pub fn lu_bench<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, n: usize) -> u64 {
+    let mut a = Matrix::diag_dominant(n, 0x1CEB00DA);
+    lu(ctx, a.view_mut());
+    a.checksum()
+}
+
+// ---------------------------------------------------------------------
+// Cholesky (dense; lower triangular in place)
+// ---------------------------------------------------------------------
+
+fn cholesky_base(a: MatViewMut) {
+    let n = a.rows;
+    for k in 0..n {
+        // SAFETY: exclusive window.
+        unsafe {
+            let mut d = a.at(k, k);
+            for p in 0..k {
+                d -= a.at(k, p) * a.at(k, p);
+            }
+            debug_assert!(d > 0.0, "matrix not positive definite");
+            let d = d.sqrt();
+            a.set(k, k, d);
+            for i in k + 1..n {
+                let mut v = a.at(i, k);
+                for p in 0..k {
+                    v -= a.at(i, p) * a.at(k, p);
+                }
+                a.set(i, k, v / d);
+            }
+        }
+    }
+}
+
+/// Solve `X · L₁₁ᵀ = B` in place (`B := B·L₁₁⁻ᵀ`). Parallel over B's rows.
+fn trans_solve<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, l: MatView, b: MatViewMut) {
+    if b.rows > FACT_BASE {
+        let mid = b.rows / 2;
+        let (b1, b2) = b.split_rows(mid);
+        ctx.join(
+            move |cx| trans_solve(cx, l, b1),
+            move |cx| trans_solve(cx, l, b2),
+        );
+        return;
+    }
+    let n = l.rows;
+    for i in 0..b.rows {
+        for j in 0..n {
+            // SAFETY: exclusive row window.
+            unsafe {
+                let mut v = b.at(i, j);
+                for k in 0..j {
+                    v -= b.at(i, k) * l.at(j, k);
+                }
+                b.set(i, j, v / l.at(j, j));
+            }
+        }
+    }
+}
+
+/// `C -= A·Aᵀ` restricted to what the Cholesky recursion reads (the full
+/// square is updated; only the lower triangle is consumed). Parallel over
+/// C's rows; the row-split recursion carries both the row block of A and
+/// the full A (the right-hand, transposed operand).
+fn syrk_sub<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, a: MatView, c: MatViewMut) {
+    syrk_sub_rows(ctx, a, a, c);
+}
+
+fn syrk_sub_rows<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, rows: MatView, full: MatView, c: MatViewMut) {
+    if c.rows > FACT_BASE {
+        let mid = c.rows / 2;
+        let (r1, r2) = rows.split_rows(mid);
+        let (c1, c2) = c.split_rows(mid);
+        ctx.join(
+            move |cx| syrk_sub_rows(cx, r1, full, c1),
+            move |cx| syrk_sub_rows(cx, r2, full, c2),
+        );
+        return;
+    }
+    syrk_sub_base(rows, full, c);
+}
+
+fn syrk_sub_base(rows: MatView, full: MatView, c: MatViewMut) {
+    // C[i][j] -= Σ_k rows[i][k] · full[j][k]
+    for i in 0..c.rows {
+        for j in 0..c.cols {
+            // SAFETY: exclusive row window of C.
+            unsafe {
+                let mut v = c.at(i, j);
+                for k in 0..rows.cols {
+                    v -= rows.at(i, k) * full.at(j, k);
+                }
+                c.set(i, j, v);
+            }
+        }
+    }
+}
+
+/// Recursive blocked Cholesky in place: lower triangle of A becomes L with
+/// A = L·Lᵀ.
+pub fn cholesky<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, a: MatViewMut) {
+    let n = a.rows;
+    debug_assert_eq!(a.rows, a.cols);
+    if n <= FACT_BASE {
+        cholesky_base(a);
+        return;
+    }
+    let h = n / 2;
+    let (a11, _a12, a21, a22) = a.quad(h, h);
+    cholesky(ctx, a11);
+    trans_solve(ctx, a11.as_view(), a21);
+    syrk_sub(ctx, a21.as_view(), a22);
+    cholesky(ctx, a22);
+}
+
+/// The `cholesky` benchmark.
+pub fn cholesky_bench<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, n: usize) -> u64 {
+    let mut a = Matrix::spd(n, 0xC0FFEE);
+    cholesky(ctx, a.view_mut());
+    // Checksum over the lower triangle only (the upper is untouched input).
+    let mut acc = 0u64;
+    for i in (0..n).step_by((n / 64).max(1)) {
+        for j in (0..=i).step_by((n / 64).max(1)) {
+            acc = acc
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(f64_checksum(a.at(i, j)));
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use lbmf::strategy::Symmetric;
+    use std::sync::Arc;
+
+    fn pool() -> Scheduler<Symmetric> {
+        Scheduler::new(3, Arc::new(Symmetric::new()))
+    }
+
+    fn mm_ref(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zero(a.rows, b.cols);
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                for j in 0..b.cols {
+                    c.data[i * b.cols + j] += a.at(i, k) * b.at(k, j);
+                }
+            }
+        }
+        c
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!((a.rows, a.cols), (b.rows, b.cols));
+        for (x, y) in a.data.iter().zip(b.data.iter()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let s = pool();
+        for (m, k, n) in [(17, 23, 9), (64, 64, 64), (100, 40, 70)] {
+            let a = Matrix::random(m, k, 1);
+            let b = Matrix::random(k, n, 2);
+            let mut c = Matrix::zero(m, n);
+            s.run(|ctx| matmul_add(ctx, a.view(), b.view(), c.view_mut()));
+            assert_close(&c, &mm_ref(&a, &b), 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_sub_subtracts() {
+        let s = pool();
+        let a = Matrix::random(40, 40, 3);
+        let b = Matrix::random(40, 40, 4);
+        let mut c = mm_ref(&a, &b);
+        s.run(|ctx| matmul_sub(ctx, a.view(), b.view(), c.view_mut()));
+        for v in &c.data {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn strassen_matches_reference() {
+        let s = pool();
+        let n = 128;
+        let a = Matrix::random(n, n, 5);
+        let b = Matrix::random(n, n, 6);
+        let mut c = Matrix::zero(n, n);
+        s.run(|ctx| strassen(ctx, a.view(), b.view(), c.view_mut()));
+        assert_close(&c, &mm_ref(&a, &b), 1e-7);
+    }
+
+    #[test]
+    fn lu_reconstructs_input() {
+        let s = pool();
+        let n = 96;
+        let orig = Matrix::diag_dominant(n, 7);
+        let mut a = orig.clone();
+        s.run(|ctx| lu(ctx, a.view_mut()));
+        // Rebuild L·U and compare.
+        let mut l = Matrix::zero(n, n);
+        let mut u = Matrix::zero(n, n);
+        for i in 0..n {
+            l.data[i * n + i] = 1.0;
+            for j in 0..n {
+                if j < i {
+                    l.data[i * n + j] = a.at(i, j);
+                } else {
+                    u.data[i * n + j] = a.at(i, j);
+                }
+            }
+        }
+        let rebuilt = mm_ref(&l, &u);
+        assert_close(&rebuilt, &orig, 1e-6);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_input() {
+        let s = pool();
+        let n = 96;
+        let orig = Matrix::spd(n, 8);
+        let mut a = orig.clone();
+        s.run(|ctx| cholesky(ctx, a.view_mut()));
+        // L·Lᵀ must equal the original (lower triangle holds L).
+        let mut rebuilt = Matrix::zero(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0;
+                for k in 0..=i.min(j) {
+                    v += a.at(i, k) * a.at(j, k);
+                }
+                rebuilt.data[i * n + j] = v;
+            }
+        }
+        assert_close(&rebuilt, &orig, 1e-6);
+    }
+
+    #[test]
+    fn rectangular_shapes_work() {
+        let s = pool();
+        let checksum1 = s.run(|ctx| rectmul_bench(ctx, 48, 96, 32));
+        let checksum2 = s.run(|ctx| rectmul_bench(ctx, 48, 96, 32));
+        assert_eq!(checksum1, checksum2);
+    }
+}

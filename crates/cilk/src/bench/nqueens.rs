@@ -1,0 +1,109 @@
+//! `nqueens`: count the placements of N queens on an N×N board.
+//!
+//! Bitmask backtracking; the first few levels branch in parallel via a
+//! divide-and-conquer over the candidate columns, then switch to the
+//! sequential solver.
+
+use crate::scheduler::WorkerCtx;
+use lbmf::strategy::FenceStrategy;
+
+/// Depth up to which placements are explored in parallel.
+const PARALLEL_DEPTH: u32 = 3;
+
+fn solve_seq(n: u32, cols: u32, diag1: u32, diag2: u32) -> u64 {
+    let full = (1u32 << n) - 1;
+    if cols == full {
+        return 1;
+    }
+    let mut count = 0;
+    let mut candidates = full & !(cols | diag1 | diag2);
+    while candidates != 0 {
+        let bit = candidates & candidates.wrapping_neg();
+        candidates -= bit;
+        count += solve_seq(n, cols | bit, (diag1 | bit) << 1, (diag2 | bit) >> 1);
+    }
+    count
+}
+
+fn solve_par<S: FenceStrategy>(
+    ctx: &WorkerCtx<'_, S>,
+    n: u32,
+    depth: u32,
+    cols: u32,
+    diag1: u32,
+    diag2: u32,
+) -> u64 {
+    if depth >= PARALLEL_DEPTH {
+        return solve_seq(n, cols, diag1, diag2);
+    }
+    let full = (1u32 << n) - 1;
+    if cols == full {
+        return 1;
+    }
+    // Gather candidate bits, then fold them with a join tree.
+    let mut bits = [0u32; 32];
+    let mut m = 0usize;
+    let mut candidates = full & !(cols | diag1 | diag2);
+    while candidates != 0 {
+        let bit = candidates & candidates.wrapping_neg();
+        candidates -= bit;
+        bits[m] = bit;
+        m += 1;
+    }
+    fold_bits(ctx, n, depth, cols, diag1, diag2, &bits[..m])
+}
+
+fn fold_bits<S: FenceStrategy>(
+    ctx: &WorkerCtx<'_, S>,
+    n: u32,
+    depth: u32,
+    cols: u32,
+    diag1: u32,
+    diag2: u32,
+    bits: &[u32],
+) -> u64 {
+    match bits.len() {
+        0 => 0,
+        1 => {
+            let bit = bits[0];
+            solve_par(ctx, n, depth + 1, cols | bit, (diag1 | bit) << 1, (diag2 | bit) >> 1)
+        }
+        _ => {
+            let (lo, hi) = bits.split_at(bits.len() / 2);
+            let (a, b) = ctx.join(
+                |c| fold_bits(c, n, depth, cols, diag1, diag2, lo),
+                |c| fold_bits(c, n, depth, cols, diag1, diag2, hi),
+            );
+            a + b
+        }
+    }
+}
+
+/// Count N-queens placements (the kernel's checksum).
+pub fn nqueens<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, n: u32) -> u64 {
+    assert!((1..=16).contains(&n));
+    solve_par(ctx, n, 0, 0, 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use lbmf::strategy::Symmetric;
+    use std::sync::Arc;
+
+    #[test]
+    fn known_counts() {
+        let s = Scheduler::new(2, Arc::new(Symmetric::new()));
+        let expected = [
+            (1u32, 1u64),
+            (4, 2),
+            (6, 4),
+            (8, 92),
+            (10, 724),
+        ];
+        for (n, count) in expected {
+            assert_eq!(s.run(|ctx| nqueens(ctx, n)), count, "n={n}");
+        }
+    }
+}

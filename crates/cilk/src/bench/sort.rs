@@ -1,0 +1,142 @@
+//! `cilksort`: parallel merge sort with a parallel merge.
+//!
+//! Divide-and-conquer merge sort; below the cutoff it falls back to the
+//! standard library's unstable sort (the paper's cilksort coarsens its base
+//! case the same way). The merge itself is also parallel: split the larger
+//! run at its midpoint, binary-search the split point in the smaller run,
+//! and merge the two halves concurrently into disjoint output slices.
+
+use crate::scheduler::WorkerCtx;
+use lbmf::strategy::FenceStrategy;
+
+const SORT_CUTOFF: usize = 2048;
+const MERGE_CUTOFF: usize = 4096;
+
+/// Deterministic pseudo-random input (xorshift-scrambled).
+pub fn make_input(n: usize) -> Vec<u64> {
+    let mut x = 0x853C49E6748FEA9Bu64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        })
+        .collect()
+}
+
+/// Sort `v` and return a checksum (order-sensitive digest of the sorted
+/// sequence).
+pub fn cilksort<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, v: &mut [u64]) -> u64 {
+    let mut tmp = vec![0u64; v.len()];
+    sort_rec(ctx, v, &mut tmp);
+    digest(v)
+}
+
+fn digest(v: &[u64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &x in v.iter().step_by((v.len() / 1024).max(1)) {
+        h = (h ^ x).wrapping_mul(0x100000001b3);
+    }
+    h ^ v.len() as u64
+}
+
+fn sort_rec<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, v: &mut [u64], tmp: &mut [u64]) {
+    if v.len() <= SORT_CUTOFF {
+        v.sort_unstable();
+        return;
+    }
+    let mid = v.len() / 2;
+    {
+        let (v1, v2) = v.split_at_mut(mid);
+        let (t1, t2) = tmp.split_at_mut(mid);
+        ctx.join(|c| sort_rec(c, v1, t1), |c| sort_rec(c, v2, t2));
+    }
+    // Merge the two sorted halves through tmp, then copy back.
+    {
+        let (a, b) = v.split_at(mid);
+        merge_rec(ctx, a, b, tmp);
+    }
+    v.copy_from_slice(tmp);
+}
+
+/// Parallel merge of sorted `a` and `b` into `out`
+/// (`out.len() == a.len() + b.len()`).
+fn merge_rec<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, a: &[u64], b: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    if out.len() <= MERGE_CUTOFF {
+        merge_seq(a, b, out);
+        return;
+    }
+    // Ensure `a` is the larger run.
+    let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let ma = a.len() / 2;
+    let pivot = a[ma];
+    let mb = b.partition_point(|&x| x < pivot);
+    let (a1, a2) = a.split_at(ma);
+    let (b1, b2) = b.split_at(mb);
+    let (o1, o2) = out.split_at_mut(ma + mb);
+    ctx.join(|c| merge_rec(c, a1, b1, o1), |c| merge_rec(c, a2, b2, o2));
+}
+
+fn merge_seq(a: &[u64], b: &[u64], out: &mut [u64]) {
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use lbmf::strategy::Symmetric;
+    use std::sync::Arc;
+
+    #[test]
+    fn sorts_correctly() {
+        let s = Scheduler::new(3, Arc::new(Symmetric::new()));
+        let mut v = make_input(50_000);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        s.run(|ctx| cilksort(ctx, &mut v));
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn checksum_matches_sequential_sort_digest() {
+        let s = Scheduler::new(2, Arc::new(Symmetric::new()));
+        let mut v = make_input(10_000);
+        let check = s.run(|ctx| cilksort(ctx, &mut v));
+        let mut w = make_input(10_000);
+        w.sort_unstable();
+        assert_eq!(check, digest(&w));
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        let s = Scheduler::new(1, Arc::new(Symmetric::new()));
+        let mut empty: Vec<u64> = vec![];
+        s.run(|ctx| cilksort(ctx, &mut empty));
+        let mut one = vec![42u64];
+        s.run(|ctx| cilksort(ctx, &mut one));
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn parallel_merge_handles_skew() {
+        // One run much longer than the other.
+        let s = Scheduler::new(2, Arc::new(Symmetric::new()));
+        let mut v: Vec<u64> = (0..60_000).map(|i| (i * 7919) % 65536).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        s.run(|ctx| cilksort(ctx, &mut v));
+        assert_eq!(v, expected);
+    }
+}

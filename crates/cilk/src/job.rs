@@ -1,0 +1,191 @@
+//! Stack-allocated, type-erased jobs for the work-stealing scheduler.
+//!
+//! A [`StackJob`] lives on the spawning worker's stack for exactly the
+//! duration of its `join` frame: either the owner pops it back and runs it
+//! inline, or a thief executes it and sets the latch the owner is waiting
+//! on. The deque stores thin `*mut JobCore<S>` pointers; `JobCore` is the
+//! first (`repr(C)`) field of `StackJob`, so the pointer doubles as a
+//! pointer to the whole job (the classic container-of layout, as used by
+//! Cilk-5's frames and rayon's `StackJob`).
+
+use crate::scheduler::WorkerCtx;
+use lbmf::fence::spin_until;
+use lbmf::strategy::FenceStrategy;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A one-shot completion flag with Release/Acquire semantics.
+#[derive(Debug, Default)]
+pub struct Latch {
+    done: AtomicBool,
+}
+
+impl Latch {
+    /// An unset latch.
+    pub fn new() -> Self {
+        Latch {
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Mark complete (Release).
+    #[inline]
+    pub fn set(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// Whether [`set`](Self::set) happened (Acquire).
+    #[inline]
+    pub fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Block (spin + yield) until set. Used by external callers; workers
+    /// instead keep stealing while they wait (see `WorkerCtx::join`).
+    pub fn wait(&self) {
+        spin_until(|| self.probe());
+    }
+}
+
+/// The type-erased header every job begins with.
+#[repr(C)]
+pub struct JobCore<S: FenceStrategy> {
+    /// Execute the job on the given worker. `core` points at this header
+    /// (and therefore at the containing job).
+    pub(crate) exec: unsafe fn(core: *mut JobCore<S>, ctx: &WorkerCtx<'_, S>),
+}
+
+/// Execute a type-erased job pointer.
+///
+/// # Safety
+///
+/// `core` must point at a live job whose `exec` was set by [`StackJob`]
+/// (or an equivalent container) and which has not been executed yet.
+pub unsafe fn execute<S: FenceStrategy>(core: *mut JobCore<S>, ctx: &WorkerCtx<'_, S>) {
+    ((*core).exec)(core, ctx);
+}
+
+/// A job allocated in the owner's `join` stack frame.
+///
+/// # Safety protocol
+///
+/// * The owner pushes `core_ptr()` onto its own deque and *must not return*
+///   from the frame until either it pops the job back, or `latch` is set.
+/// * If the owner pops the job back, it calls [`run_inline`]
+///   (single-threaded path; the thief never saw it).
+/// * If a thief executes it (via [`execute`]), the result (or panic) is
+///   stored and `latch` is set; the owner then calls [`take_result`].
+///
+/// [`run_inline`]: StackJob::run_inline
+/// [`take_result`]: StackJob::take_result
+pub struct StackJob<F, R, S>
+where
+    S: FenceStrategy,
+    F: FnOnce(&WorkerCtx<'_, S>) -> R + Send,
+    R: Send,
+{
+    core: JobCore<S>,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    /// Set once the job has been executed by a thief.
+    pub latch: Latch,
+}
+
+// SAFETY: access to `func`/`result` is serialized by the deque protocol
+// (exactly one of owner/thief runs the job) and by `latch` (the owner reads
+// `result` only after `probe()` returns true, which pairs Release/Acquire
+// with the thief's `set()`).
+unsafe impl<F, R, S> Sync for StackJob<F, R, S>
+where
+    S: FenceStrategy,
+    F: FnOnce(&WorkerCtx<'_, S>) -> R + Send,
+    R: Send,
+{
+}
+
+impl<F, R, S> StackJob<F, R, S>
+where
+    S: FenceStrategy,
+    F: FnOnce(&WorkerCtx<'_, S>) -> R + Send,
+    R: Send,
+{
+    /// Wrap `func` as a stealable job.
+    pub fn new(func: F) -> Self {
+        StackJob {
+            core: JobCore {
+                exec: Self::execute_erased,
+            },
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    /// The pointer pushed onto the deque.
+    pub fn core_ptr(&self) -> *mut JobCore<S> {
+        &self.core as *const JobCore<S> as *mut JobCore<S>
+    }
+
+    unsafe fn execute_erased(core: *mut JobCore<S>, ctx: &WorkerCtx<'_, S>) {
+        // `core` is the first field of a repr(C) StackJob.
+        let this = core as *mut Self;
+        let func = (*(*this).func.get())
+            .take()
+            .expect("job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(|| func(ctx)));
+        *(*this).result.get() = Some(result);
+        (*this).latch.set();
+    }
+
+    /// Run the job on the owner after popping it back (it was never seen
+    /// by a thief). Panics propagate directly on the owner's stack.
+    ///
+    /// # Safety
+    ///
+    /// Only the owner may call this, and only after popping the job's
+    /// pointer back off its own deque.
+    pub unsafe fn run_inline(&self, ctx: &WorkerCtx<'_, S>) -> R {
+        let func = (*self.func.get()).take().expect("job executed twice");
+        func(ctx)
+    }
+
+    /// Retrieve the result stored by a thief. Re-raises the thief's panic
+    /// on the owner's stack.
+    ///
+    /// # Safety
+    ///
+    /// Only call after `latch.probe()` returned true.
+    pub unsafe fn take_result(&self) -> R {
+        match (*self.result.get()).take().expect("latch set without result") {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_set_probe_wait() {
+        let l = Latch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+        l.wait(); // returns immediately
+    }
+
+    #[test]
+    fn latch_cross_thread() {
+        let l = std::sync::Arc::new(Latch::new());
+        let l2 = l.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            l2.set();
+        });
+        l.wait();
+        h.join().unwrap();
+    }
+}

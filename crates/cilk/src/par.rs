@@ -1,0 +1,173 @@
+//! Data-parallel helpers over the fork-join scheduler: recursive
+//! divide-and-conquer `for_each` / `map_reduce` in the style the Figure-4
+//! kernels use internally, packaged as a small reusable API.
+//!
+//! All helpers are deterministic: the reduction tree's shape depends only
+//! on the input length and grain, so floating-point or otherwise
+//! non-associative-sensitive reductions produce identical results for
+//! every worker count and fence strategy.
+
+use crate::scheduler::WorkerCtx;
+use lbmf::strategy::FenceStrategy;
+
+/// Default number of elements handled sequentially at the leaves.
+pub const DEFAULT_GRAIN: usize = 1024;
+
+/// Apply `f` to every index in `range`, in parallel, splitting down to
+/// `grain` indices per leaf.
+pub fn for_each_index<S, F>(ctx: &WorkerCtx<'_, S>, range: std::ops::Range<usize>, grain: usize, f: &F)
+where
+    S: FenceStrategy,
+    F: Fn(usize) + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return;
+    }
+    if len <= grain.max(1) {
+        for i in range {
+            f(i);
+        }
+        return;
+    }
+    let mid = range.start + len / 2;
+    let (a, b) = (range.start..mid, mid..range.end);
+    ctx.join(
+        move |c| for_each_index(c, a, grain, f),
+        move |c| for_each_index(c, b, grain, f),
+    );
+}
+
+/// Apply `f` to every element of `slice` in parallel (mutable access,
+/// disjoint splits).
+pub fn for_each_mut<S, T, F>(ctx: &WorkerCtx<'_, S>, slice: &mut [T], grain: usize, f: &F)
+where
+    S: FenceStrategy,
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    if slice.len() <= grain.max(1) {
+        for v in slice {
+            f(v);
+        }
+        return;
+    }
+    let mid = slice.len() / 2;
+    let (a, b) = slice.split_at_mut(mid);
+    ctx.join(move |c| for_each_mut(c, a, grain, f), move |c| for_each_mut(c, b, grain, f));
+}
+
+/// Map each element through `map` and fold with the associative `reduce`,
+/// returning `identity` for empty input. The reduction tree is fixed by
+/// the input length, so results are deterministic even for `f64`.
+pub fn map_reduce<S, T, R, M, F>(
+    ctx: &WorkerCtx<'_, S>,
+    slice: &[T],
+    grain: usize,
+    identity: R,
+    map: &M,
+    reduce: &F,
+) -> R
+where
+    S: FenceStrategy,
+    T: Sync,
+    R: Send + Clone,
+    M: Fn(&T) -> R + Sync,
+    F: Fn(R, R) -> R + Sync,
+{
+    if slice.is_empty() {
+        return identity;
+    }
+    if slice.len() <= grain.max(1) {
+        let mut acc = identity;
+        for v in slice {
+            acc = reduce(acc, map(v));
+        }
+        return acc;
+    }
+    let mid = slice.len() / 2;
+    let (a, b) = slice.split_at(mid);
+    let ida = identity.clone();
+    let idb = identity;
+    let (ra, rb) = ctx.join(
+        move |c| map_reduce(c, a, grain, ida, map, reduce),
+        move |c| map_reduce(c, b, grain, idb, map, reduce),
+    );
+    reduce(ra, rb)
+}
+
+/// Parallel sum of a slice of `u64` (convenience over [`map_reduce`]).
+pub fn sum<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, slice: &[u64]) -> u64 {
+    map_reduce(ctx, slice, DEFAULT_GRAIN, 0u64, &|v| *v, &|a, b| {
+        a.wrapping_add(b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use lbmf::strategy::{SignalFence, Symmetric};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn for_each_index_covers_every_index_once() {
+        let pool = Scheduler::new(3, Arc::new(Symmetric::new()));
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|ctx| {
+            for_each_index(ctx, 0..hits.len(), 16, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_mut_transforms_in_place() {
+        let pool = Scheduler::new(2, Arc::new(SignalFence::new()));
+        let mut v: Vec<u64> = (0..5000).collect();
+        pool.run(|ctx| for_each_mut(ctx, &mut v, 64, &|x| *x *= 2));
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let pool = Scheduler::new(4, Arc::new(Symmetric::new()));
+        let v: Vec<u64> = (1..=10_000).collect();
+        let par = pool.run(|ctx| {
+            map_reduce(ctx, &v, 128, 0u64, &|x| x * x, &|a, b| a + b)
+        });
+        let seq: u64 = v.iter().map(|x| x * x).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn float_reduction_deterministic_across_workers() {
+        let v: Vec<f64> = (0..20_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let run = |workers| {
+            let pool = Scheduler::new(workers, Arc::new(Symmetric::new()));
+            pool.run(|ctx| {
+                map_reduce(ctx, &v, 64, 0.0f64, &|x| *x, &|a, b| a + b)
+            })
+        };
+        // Bitwise identical: the tree shape is input-determined.
+        assert_eq!(run(1).to_bits(), run(4).to_bits());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let pool = Scheduler::new(1, Arc::new(Symmetric::new()));
+        assert_eq!(pool.run(|ctx| sum(ctx, &[])), 0);
+        assert_eq!(pool.run(|ctx| sum(ctx, &[7])), 7);
+        let mut nothing: [u64; 0] = [];
+        pool.run(|ctx| for_each_mut(ctx, &mut nothing, 4, &|_| {}));
+    }
+
+    #[test]
+    fn sum_helper() {
+        let pool = Scheduler::new(2, Arc::new(Symmetric::new()));
+        let v: Vec<u64> = (0..100_000).collect();
+        assert_eq!(pool.run(|ctx| sum(ctx, &v)), (0..100_000u64).sum());
+    }
+}

@@ -1,0 +1,255 @@
+//! Scoped, irregular parallelism: `scope`/`spawn` on top of the fork-join
+//! scheduler.
+//!
+//! [`WorkerCtx::join`] expresses balanced binary fork-join — all the
+//! paper's benchmarks need. A [`Scope`] adds the irregular form: spawn any
+//! number of tasks that may borrow from the enclosing stack frame; the
+//! scope does not return until every spawned task (including nested
+//! spawns) has finished. Spawned tasks go through the same THE-protocol
+//! deques, so they are stealable and their pops ride the same
+//! location-based-fence fast path.
+//!
+//! ```
+//! use lbmf_cilk::Scheduler;
+//! use lbmf::strategy::Symmetric;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let pool = Scheduler::new(2, Arc::new(Symmetric::new()));
+//! let total = AtomicU64::new(0);
+//! pool.run(|ctx| {
+//!     let total = &total;
+//!     ctx.scope(|scope, ctx| {
+//!         for i in 1..=10u64 {
+//!             scope.spawn(ctx, move |_, _| {
+//!                 total.fetch_add(i, Ordering::Relaxed);
+//!             });
+//!         }
+//!     });
+//! });
+//! assert_eq!(total.load(Ordering::Relaxed), 55);
+//! ```
+
+use crate::job::JobCore;
+use crate::scheduler::WorkerCtx;
+use lbmf::strategy::FenceStrategy;
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A scope within which tasks borrowing from the enclosing frame may be
+/// spawned. Created by [`WorkerCtx::scope`].
+pub struct Scope<'scope, S: FenceStrategy> {
+    /// Spawned-but-unfinished task count.
+    pending: AtomicUsize,
+    /// First panic raised by a spawned task (propagated when the scope
+    /// closes).
+    panic: parking_lot::Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant over 'scope (the usual scoped-task variance guard).
+    _marker: PhantomData<&'scope mut &'scope ()>,
+    _strategy: PhantomData<S>,
+}
+
+/// A heap-allocated spawned task; freed by whoever executes it.
+struct HeapJob<'scope, F, S>
+where
+    S: FenceStrategy,
+    F: FnOnce(&WorkerCtx<'_, S>, &Scope<'scope, S>) + Send + 'scope,
+{
+    /// Read through the type-erased pointer, never through the field.
+    #[allow(dead_code)]
+    core: JobCore<S>,
+    scope: *const Scope<'scope, S>,
+    func: Option<F>,
+}
+
+impl<'scope, F, S> HeapJob<'scope, F, S>
+where
+    S: FenceStrategy,
+    F: FnOnce(&WorkerCtx<'_, S>, &Scope<'scope, S>) + Send + 'scope,
+{
+    unsafe fn execute_erased(core: *mut JobCore<S>, ctx: &WorkerCtx<'_, S>) {
+        // `core` is the first (repr-compatible) field: recover the box.
+        let mut job = Box::from_raw(core as *mut Self);
+        let scope = &*job.scope;
+        let func = job.func.take().expect("scope job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(|| func(ctx, scope)));
+        if let Err(payload) = result {
+            let mut slot = scope.panic.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        // The decrement releases the job's effects to the scope closer.
+        scope.pending.fetch_sub(1, Ordering::AcqRel);
+        // `job` drops here, freeing the allocation.
+    }
+}
+
+impl<'scope, S: FenceStrategy> Scope<'scope, S> {
+    /// Spawn a task that may borrow anything outliving the scope. The task
+    /// receives the executing worker's context (for nested joins/spawns)
+    /// and the scope itself (for nested spawns).
+    pub fn spawn<F>(&self, ctx: &WorkerCtx<'_, S>, func: F)
+    where
+        F: FnOnce(&WorkerCtx<'_, S>, &Scope<'scope, S>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        let job = Box::new(HeapJob {
+            core: JobCore {
+                exec: HeapJob::<'scope, F, S>::execute_erased,
+            },
+            scope: self as *const Scope<'scope, S>,
+            func: Some(func),
+        });
+        // repr: `core` is the first field, so the box pointer doubles as a
+        // JobCore pointer (same layout trick as StackJob).
+        let ptr = Box::into_raw(job) as *mut JobCore<S>;
+        ctx.push_job(ptr);
+    }
+
+    /// Spawned tasks not yet finished (approximate; for monitoring).
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+}
+
+impl<'s, S: FenceStrategy> WorkerCtx<'s, S> {
+    /// Open a scope: run `f`, then keep working (executing own and stolen
+    /// tasks) until every task spawned in the scope has completed. Panics
+    /// from spawned tasks are propagated after the scope closes.
+    pub fn scope<'scope, R>(
+        &self,
+        f: impl FnOnce(&Scope<'scope, S>, &WorkerCtx<'_, S>) -> R,
+    ) -> R {
+        let scope = Scope {
+            pending: AtomicUsize::new(0),
+            panic: parking_lot::Mutex::new(None),
+            _marker: PhantomData,
+            _strategy: PhantomData,
+        };
+        // Even if `f` panics we must drain the spawned tasks first: they
+        // borrow this frame.
+        let out = catch_unwind(AssertUnwindSafe(|| f(&scope, self)));
+        self.work_until(|| scope.pending.load(Ordering::Acquire) == 0);
+        if let Some(payload) = scope.panic.lock().take() {
+            resume_unwind(payload);
+        }
+        match out {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use lbmf::strategy::{SignalFence, Symmetric};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn spawned_tasks_all_run() {
+        let pool = Scheduler::new(3, Arc::new(Symmetric::new()));
+        let hits = AtomicU64::new(0);
+        pool.run(|ctx| {
+            ctx.scope(|scope, ctx| {
+                for _ in 0..500 {
+                    scope.spawn(ctx, |_, _| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn nested_spawns() {
+        let pool = Scheduler::new(2, Arc::new(SignalFence::new()));
+        let hits = AtomicU64::new(0);
+        pool.run(|ctx| {
+            ctx.scope(|scope, ctx| {
+                for _ in 0..10 {
+                    scope.spawn(ctx, |ctx, scope| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        for _ in 0..10 {
+                            scope.spawn(ctx, |_, _| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 110);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let pool = Scheduler::new(2, Arc::new(Symmetric::new()));
+        let data: Vec<u64> = (0..100).collect();
+        let sum = AtomicU64::new(0);
+        pool.run(|ctx| {
+            ctx.scope(|scope, ctx| {
+                for chunk in data.chunks(7) {
+                    scope.spawn(ctx, |_, _| {
+                        sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum());
+    }
+
+    #[test]
+    fn spawn_mixes_with_join() {
+        // A join whose `a` branch spawns scope tasks: the join's pop must
+        // tolerate the foreign jobs above its own frame.
+        let pool = Scheduler::new(2, Arc::new(Symmetric::new()));
+        let hits = AtomicU64::new(0);
+        let out = pool.run(|ctx| {
+            ctx.scope(|scope, ctx| {
+                let (x, y) = ctx.join(
+                    |c| {
+                        for _ in 0..5 {
+                            scope.spawn(c, |_, _| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                        1u64
+                    },
+                    |_| 2u64,
+                );
+                x + y
+            })
+        });
+        assert_eq!(out, 3);
+        assert_eq!(hits.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn panics_in_spawned_tasks_propagate() {
+        let pool = Scheduler::new(2, Arc::new(Symmetric::new()));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                ctx.scope(|scope, ctx| {
+                    scope.spawn(ctx, |_, _| panic!("spawned boom"));
+                });
+            })
+        }));
+        assert!(result.is_err());
+        // Pool still usable.
+        assert_eq!(pool.run(|_| 7), 7);
+    }
+
+    #[test]
+    fn empty_scope_returns_value() {
+        let pool = Scheduler::new(1, Arc::new(Symmetric::new()));
+        let v = pool.run(|ctx| ctx.scope(|_, _| 42));
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the work-stealing runtime: random fork-join
+//! computations must produce exactly the sequential result under any
+//! worker count and fence strategy.
+
+use lbmf::strategy::{SignalFence, Symmetric};
+use lbmf_cilk::{Scheduler, WorkerCtx};
+use lbmf::strategy::FenceStrategy;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A randomly shaped fork-join expression tree.
+#[derive(Clone, Debug)]
+enum Expr {
+    Leaf(u64),
+    Add(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = (0u64..1000).prop_map(Expr::Leaf);
+    leaf.prop_recursive(8, 96, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_seq(e: &Expr) -> u64 {
+    match e {
+        Expr::Leaf(v) => *v,
+        Expr::Add(a, b) => eval_seq(a).wrapping_add(eval_seq(b)),
+        Expr::Mul(a, b) => eval_seq(a).wrapping_mul(eval_seq(b)),
+    }
+}
+
+fn eval_par<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, e: &Expr) -> u64 {
+    match e {
+        Expr::Leaf(v) => *v,
+        Expr::Add(a, b) => {
+            let (x, y) = ctx.join(|c| eval_par(c, a), |c| eval_par(c, b));
+            x.wrapping_add(y)
+        }
+        Expr::Mul(a, b) => {
+            let (x, y) = ctx.join(|c| eval_par(c, a), |c| eval_par(c, b));
+            x.wrapping_mul(y)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random expression trees evaluate identically in sequence and on the
+    /// symmetric pool.
+    #[test]
+    fn random_trees_match_sequential_symmetric(e in expr_strategy()) {
+        let pool = Scheduler::new(3, Arc::new(Symmetric::new()));
+        let par = pool.run(|ctx| eval_par(ctx, &e));
+        prop_assert_eq!(par, eval_seq(&e));
+    }
+
+    /// Same under the asymmetric (signal-serialized) pool.
+    #[test]
+    fn random_trees_match_sequential_asymmetric(e in expr_strategy()) {
+        let pool = Scheduler::new(2, Arc::new(SignalFence::new()));
+        let par = pool.run(|ctx| eval_par(ctx, &e));
+        prop_assert_eq!(par, eval_seq(&e));
+    }
+
+    /// Job conservation: pushes == pops + steals after any run.
+    #[test]
+    fn job_conservation(e in expr_strategy(), workers in 1usize..5) {
+        let pool = Scheduler::new(workers, Arc::new(Symmetric::new()));
+        pool.reset_stats();
+        let _ = pool.run(|ctx| eval_par(ctx, &e));
+        let s = pool.stats();
+        prop_assert_eq!(s.pushes, s.pops + s.steals);
+    }
+}
+
+/// Concurrent `run` calls from several external threads share the pool
+/// safely (the injector serializes root submission).
+#[test]
+fn concurrent_runs_share_the_pool() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let pool = Arc::new(Scheduler::new(3, Arc::new(Symmetric::new())));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for k in 1..=4u64 {
+        let pool = pool.clone();
+        let total = total.clone();
+        handles.push(std::thread::spawn(move || {
+            let v = pool.run(move |ctx| {
+                let (a, b) = ctx.join(move |_| 10 * k, move |_| k);
+                a + b
+            });
+            total.fetch_add(v, Ordering::Relaxed);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // sum of 11k for k=1..4
+    assert_eq!(total.load(Ordering::Relaxed), 11 * (1 + 2 + 3 + 4));
+}

@@ -1,0 +1,93 @@
+//! Program-based fences and spin helpers.
+//!
+//! On x86-64, `std::sync::atomic::fence(SeqCst)` compiles to a full
+//! serializing operation (an `mfence` or a locked RMW — both drain the
+//! store buffer before later loads commit), which is exactly the
+//! program-based fence the paper contrasts `l-mfence` against.
+//! `compiler_fence(SeqCst)` only stops the *compiler* from reordering —
+//! the paper's software prototype uses precisely this on the primary's fast
+//! path ("we achieve this simply by inserting a compiler fence").
+
+use std::sync::atomic::{compiler_fence, fence, Ordering};
+
+/// A full program-based memory fence (the paper's `mfence`): all stores
+/// before it are globally visible before any load after it executes.
+#[inline]
+pub fn full_fence() {
+    fence(Ordering::SeqCst);
+}
+
+/// A compiler-only fence: prevents compile-time reordering across this
+/// point but emits no hardware fence. This is the primary-side cost of the
+/// software `l-mfence` prototype.
+#[inline]
+pub fn compiler_fence_only() {
+    compiler_fence(Ordering::SeqCst);
+}
+
+/// Spin until `cond()` holds, yielding to the OS scheduler after a short
+/// busy phase. The yield matters: on few-core hosts (including the 1-core
+/// machine these experiments run on) a pure busy-wait can starve the very
+/// thread that must make the condition true.
+#[inline]
+pub fn spin_until(mut cond: impl FnMut() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Spin until `cond()` holds or roughly `budget_spins` busy iterations have
+/// elapsed; returns whether the condition was met. Used by the ARW+ lock's
+/// waiting heuristic.
+#[inline]
+pub fn spin_for(budget_spins: u32, mut cond: impl FnMut() -> bool) -> bool {
+    for s in 0..budget_spins {
+        if cond() {
+            return true;
+        }
+        if s % 128 == 127 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    cond()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+    use std::sync::Arc;
+
+    #[test]
+    fn fences_do_not_crash() {
+        full_fence();
+        compiler_fence_only();
+    }
+
+    #[test]
+    fn spin_until_returns_when_condition_met() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            f2.store(true, Relaxed);
+        });
+        spin_until(|| flag.load(Relaxed));
+        h.join().unwrap();
+        assert!(flag.load(Relaxed));
+    }
+
+    #[test]
+    fn spin_for_times_out() {
+        assert!(!spin_for(1000, || false));
+        assert!(spin_for(1, || true));
+    }
+}

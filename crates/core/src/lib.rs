@@ -1,0 +1,88 @@
+//! # lbmf — location-based memory fences for real threads
+//!
+//! Software realizations of the *location-based memory fence* from
+//! Ladan-Mozes, Lee & Vyukov, SPAA 2011, plus the asymmetric
+//! synchronization protocols the paper builds on them.
+//!
+//! A **program-based** fence (`mfence`) stalls the executing processor
+//! unconditionally. A **location-based** fence serializes the primary
+//! thread only when another thread actually inspects the guarded location —
+//! the secondary *remotely enforces* the fence. The paper's proposed LE/ST
+//! hardware lives in the sibling crate `lbmf-sim`; this crate provides the
+//! two software mechanisms that exist on stock hardware:
+//!
+//! * [`strategy::SignalFence`] — the paper's prototype: a POSIX signal
+//!   handshake (≈10⁴ cycles per serialization);
+//! * [`strategy::MembarrierFence`] — Linux `membarrier(2)` with
+//!   `PRIVATE_EXPEDITED` (≈10³ cycles), the modern kernel-assisted
+//!   asymmetric fence;
+//!
+//! along with [`strategy::Symmetric`] (the program-based baseline) and
+//! [`strategy::NoFence`] (the deliberately broken Figure-1 idiom, for
+//! demonstrations).
+//!
+//! On top of the strategies:
+//!
+//! * [`dekker::AsymmetricDekker`] — the Figure 3(a) protocol with a turn
+//!   tie-break;
+//! * [`biased::BiasedLock`] — a biased lock in the style of Java monitors;
+//! * [`arw::AsymRwLock`] — the reader-biased readers-writer lock of
+//!   Section 5, covering the paper's SRW / ARW / ARW+ variants through its
+//!   strategy parameter and spin window.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lbmf::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // An ARW lock whose readers never execute a hardware fence.
+//! let lock = Arc::new(AsymRwLock::new(Arc::new(SignalFence::new())));
+//!
+//! let l = lock.clone();
+//! let reader = std::thread::spawn(move || {
+//!     let h = l.register_reader();
+//!     h.read(|| { /* fence-free read section */ })
+//! });
+//! reader.join().unwrap();
+//!
+//! lock.with_write(|| { /* writer serialized every registered reader */ });
+//! assert_eq!(lock.strategy().stats().snapshot().primary_full_fences, 0);
+//! ```
+//!
+//! ## Memory-model footing
+//!
+//! The asymmetric fast paths pair `Release`/`Acquire` atomics with a
+//! compiler fence; the cross-thread ordering they need is established by
+//! the serialization handshake itself (the signal handler runs *in* the
+//! primary thread and performs a `SeqCst` fence before acknowledging, and
+//! `membarrier` provides the analogous kernel-level barrier), mirroring the
+//! paper's hardware argument. The symmetric strategy uses `SeqCst` fences
+//! and is sound under the plain Rust memory model.
+
+#![warn(missing_docs)]
+
+pub mod arw;
+pub mod biased;
+pub mod dekker;
+pub mod fence;
+pub mod litmus;
+pub mod owned;
+pub mod registry;
+pub mod safepoint;
+pub mod stats;
+pub mod strategy;
+
+/// The commonly used surface of the crate.
+pub mod prelude {
+    pub use crate::arw::{AsymRwLock, ReaderHandle, WriteGuard};
+    pub use crate::biased::{BiasedLock, Owner};
+    pub use crate::dekker::{AsymmetricDekker, Primary};
+    pub use crate::fence::{compiler_fence_only, full_fence, spin_for, spin_until};
+    pub use crate::litmus::{run_sb_litmus, LitmusHistogram};
+    pub use crate::owned::{CellOwner, OwnedCell};
+    pub use crate::registry::{register_current_thread, Registration, RemoteThread};
+    pub use crate::safepoint::{Mutator, Safepoint};
+    pub use crate::stats::{FenceStats, FenceStatsSnapshot};
+    pub use crate::strategy::{FenceStrategy, MembarrierFence, NoFence, SignalFence, Symmetric};
+}

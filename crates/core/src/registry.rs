@@ -1,0 +1,272 @@
+//! Thread registration for remote serialization.
+//!
+//! The software prototype of `l-mfence` (Section 5) serializes the primary
+//! thread by sending it a POSIX signal: "a software signal generates an
+//! interrupt on the processor receiving the signal, and the processor
+//! flushes its store buffer before calling the signal handling routine."
+//! To target a thread we need its `pthread_t` and a per-thread ack word the
+//! handler can bump — that is what a [`ThreadSlot`] holds and what
+//! [`register_current_thread`] creates.
+//!
+//! The handler is installed once, for a real-time signal (`SIGRTMIN + 3`):
+//! real-time signals queue rather than coalesce, and `SA_SIGINFO` delivery
+//! carries a pointer to the target's [`ThreadSlot`] in `si_value`, so the
+//! handler needs no thread-local lookup — it is a handful of
+//! async-signal-safe atomic operations.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+
+/// Per-registered-thread state shared with the signal handler.
+#[derive(Debug)]
+pub struct ThreadSlot {
+    /// The registered thread's `pthread_t`.
+    pthread: AtomicU64,
+    /// Bumped by the signal handler after it fences; waiters compare
+    /// against a pre-send snapshot.
+    ack: AtomicU64,
+    /// Signals delivered to this slot (handler-side counter, equals `ack`).
+    handled: AtomicU64,
+    /// Cleared when the thread deregisters; senders then treat
+    /// serialization as trivially complete (a dead thread has no store
+    /// buffer to flush).
+    active: AtomicBool,
+}
+
+impl ThreadSlot {
+    fn new(pthread: libc::pthread_t) -> Self {
+        ThreadSlot {
+            #[allow(clippy::unnecessary_cast)] // pthread_t width varies by platform
+            pthread: AtomicU64::new(pthread as u64),
+            ack: AtomicU64::new(0),
+            handled: AtomicU64::new(0),
+            active: AtomicBool::new(true),
+        }
+    }
+
+    /// Signals handled on behalf of this slot so far.
+    pub fn acks(&self) -> u64 {
+        self.ack.load(Ordering::Acquire)
+    }
+
+    /// Whether the registered thread is still alive (signals deliverable).
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+}
+
+/// Handle to a registered thread, used by fence strategies to force that
+/// thread to serialize. Cloneable and sendable.
+#[derive(Clone, Debug)]
+pub struct RemoteThread {
+    slot: Arc<ThreadSlot>,
+}
+
+impl RemoteThread {
+    /// The shared per-thread slot (ack counters, liveness).
+    pub fn slot(&self) -> &Arc<ThreadSlot> {
+        &self.slot
+    }
+
+    /// Whether this handle refers to the *calling* thread. Protocols use
+    /// it to skip self-serialization (a thread is trivially serialized
+    /// with respect to itself).
+    pub fn is_current(&self) -> bool {
+        let stored = self.slot.pthread.load(Ordering::Acquire) as libc::pthread_t;
+        // SAFETY: pthread_equal on a live id and pthread_self.
+        unsafe { libc::pthread_equal(stored, libc::pthread_self()) != 0 }
+    }
+
+    /// Send one serialization signal and wait for the handler's ack.
+    ///
+    /// Returns `true` if a signal round trip actually happened (`false`
+    /// when the thread already deregistered). Correctness of accepting a
+    /// *concurrent* ack: any handler run that begins after our pre-send
+    /// snapshot also begins after our caller's preceding `mfence`, which is
+    /// all the Dekker argument needs.
+    pub fn serialize(&self) -> bool {
+        if !self.slot.is_active() {
+            return false;
+        }
+        let before = self.slot.ack.load(Ordering::Acquire);
+        let sig = serialization_signal();
+        let value = libc::sigval {
+            sival_ptr: Arc::as_ptr(&self.slot) as *mut libc::c_void,
+        };
+        let pthread = self.slot.pthread.load(Ordering::Acquire) as libc::pthread_t;
+        let rc = unsafe { libc::pthread_sigqueue(pthread, sig, value) };
+        if rc != 0 {
+            // ESRCH etc.: the thread is gone; nothing to serialize.
+            self.slot.active.store(false, Ordering::Release);
+            return false;
+        }
+        crate::fence::spin_until(|| {
+            self.slot.ack.load(Ordering::Acquire) > before || !self.slot.is_active()
+        });
+        true
+    }
+}
+
+/// RAII registration of the current thread; deregisters on drop.
+#[derive(Debug)]
+pub struct Registration {
+    remote: RemoteThread,
+}
+
+impl Registration {
+    /// A cloneable handle other threads can use to serialize this one.
+    pub fn remote(&self) -> RemoteThread {
+        self.remote.clone()
+    }
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        self.remote.slot.active.store(false, Ordering::Release);
+    }
+}
+
+/// The real-time signal used for serialization requests.
+fn serialization_signal() -> libc::c_int {
+    libc::SIGRTMIN() + 3
+}
+
+/// The signal handler: the kernel's delivery path has already drained the
+/// receiving CPU's store buffer (that is the prototype's entire mechanism);
+/// we add an explicit fence for portability, then ack.
+extern "C" fn serialize_handler(
+    _sig: libc::c_int,
+    info: *mut libc::siginfo_t,
+    _ctx: *mut libc::c_void,
+) {
+    // SAFETY: senders always place a valid `*const ThreadSlot` in si_value
+    // and keep the Arc alive until the ack arrives.
+    unsafe {
+        let slot_ptr = (*info).si_value().sival_ptr as *const ThreadSlot;
+        if slot_ptr.is_null() {
+            return;
+        }
+        std::sync::atomic::fence(Ordering::SeqCst);
+        (*slot_ptr).handled.fetch_add(1, Ordering::AcqRel);
+        (*slot_ptr).ack.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+fn install_handler_once() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| unsafe {
+        let mut sa: libc::sigaction = std::mem::zeroed();
+        sa.sa_sigaction = serialize_handler
+            as extern "C" fn(libc::c_int, *mut libc::siginfo_t, *mut libc::c_void)
+            as usize;
+        sa.sa_flags = libc::SA_SIGINFO | libc::SA_RESTART;
+        libc::sigemptyset(&mut sa.sa_mask);
+        let rc = libc::sigaction(serialization_signal(), &sa, std::ptr::null_mut());
+        assert_eq!(rc, 0, "failed to install serialization signal handler");
+    });
+}
+
+/// Global registry keeping every slot alive for the life of the process
+/// (slots are tiny; a signal in flight must never dangle).
+fn registry() -> &'static Mutex<Vec<Arc<ThreadSlot>>> {
+    static REGISTRY: std::sync::OnceLock<Mutex<Vec<Arc<ThreadSlot>>>> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register the calling thread as a serialization target. Installs the
+/// process-wide signal handler on first use.
+pub fn register_current_thread() -> Registration {
+    install_handler_once();
+    let slot = Arc::new(ThreadSlot::new(unsafe { libc::pthread_self() }));
+    registry().lock().unwrap().push(slot.clone());
+    Registration {
+        remote: RemoteThread { slot },
+    }
+}
+
+/// Number of threads ever registered (monitoring/tests).
+pub fn registered_count() -> usize {
+    registry().lock().unwrap().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[test]
+    fn register_and_signal_roundtrip() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let h = std::thread::spawn(move || {
+            let reg = register_current_thread();
+            tx.send(reg.remote()).unwrap();
+            // Stay alive until the main thread finishes signaling.
+            done_rx.recv().unwrap();
+        });
+        let remote = rx.recv().unwrap();
+        assert!(remote.slot().is_active());
+        let before = remote.slot().acks();
+        assert!(remote.serialize());
+        assert!(remote.slot().acks() > before);
+        done_tx.send(()).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn serialize_after_deregistration_is_noop() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let h = std::thread::spawn(move || {
+            let reg = register_current_thread();
+            tx.send(reg.remote()).unwrap();
+            // Registration dropped here.
+        });
+        let remote = rx.recv().unwrap();
+        h.join().unwrap();
+        // The thread deregistered (and exited): serialize is a no-op.
+        assert!(!remote.serialize());
+    }
+
+    #[test]
+    fn concurrent_serializers_all_observe_acks() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let target = std::thread::spawn(move || {
+            let reg = register_current_thread();
+            tx.send(reg.remote()).unwrap();
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        });
+        let remote = rx.recv().unwrap();
+        let total = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = remote.clone();
+            let t = total.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    if r.serialize() {
+                        t.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        target.join().unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+        assert!(remote.slot().acks() >= 1);
+    }
+
+    #[test]
+    fn registered_count_grows() {
+        let before = registered_count();
+        let _reg = register_current_thread();
+        assert!(registered_count() > before);
+    }
+}

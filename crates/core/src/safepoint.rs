@@ -1,0 +1,170 @@
+//! Safepoint coordination — the paper's JVM motivation (Section 1): "JVM
+//! employs the Dekker duality to coordinate between mutator threads
+//! (primary) executing outside of JVM (via Java Native Interface) and the
+//! garbage collector (secondary)."
+//!
+//! Mutators run *pinned regions* (the analogue of executing native code
+//! that the collector must not interrupt) on a fence-free fast path; the
+//! collector requests a stop-the-world pause, remotely serializing each
+//! registered mutator so their possibly-buffered pin flags become visible,
+//! and waits for all of them to drain out.
+//!
+//! Built as a domain wrapper over [`AsymRwLock`]: pinned regions are read
+//! sections, the world-stop is the write lock (with the ARW+ waiting
+//! heuristic available through the spin window).
+
+use crate::arw::{AsymRwLock, ReaderHandle};
+use crate::strategy::FenceStrategy;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A stop-the-world coordination point.
+pub struct Safepoint<S: FenceStrategy> {
+    lock: Arc<AsymRwLock<S>>,
+}
+
+impl<S: FenceStrategy> Safepoint<S> {
+    /// A safepoint whose world-stops signal every registered mutator.
+    pub fn new(strategy: Arc<S>) -> Self {
+        Safepoint {
+            lock: Arc::new(AsymRwLock::new(strategy)),
+        }
+    }
+
+    /// A safepoint using the waiting heuristic: the collector spins up to
+    /// `spin_window` iterations for mutators to acknowledge before
+    /// signaling them.
+    pub fn with_spin_window(strategy: Arc<S>, spin_window: u32) -> Self {
+        Safepoint {
+            lock: Arc::new(AsymRwLock::with_spin_window(strategy, spin_window)),
+        }
+    }
+
+    /// Register the calling thread as a mutator.
+    pub fn register_mutator(&self) -> Mutator<S> {
+        Mutator {
+            handle: self.lock.register_reader(),
+        }
+    }
+
+    /// Stop the world: wait for every registered mutator to leave its
+    /// pinned region (serializing them remotely as needed), run `f`
+    /// exclusively, then release the world.
+    pub fn stop_the_world<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.lock.with_write(f)
+    }
+
+    /// Number of currently registered mutators.
+    pub fn mutators(&self) -> usize {
+        self.lock.active_readers()
+    }
+
+    /// World-stops performed so far.
+    pub fn pauses(&self) -> u64 {
+        self.lock.writes.load(Ordering::Relaxed)
+    }
+
+    /// The underlying lock (statistics, strategy).
+    pub fn lock(&self) -> &AsymRwLock<S> {
+        &self.lock
+    }
+}
+
+/// A registered mutator thread's handle.
+pub struct Mutator<S: FenceStrategy> {
+    handle: ReaderHandle<S>,
+}
+
+impl<S: FenceStrategy> Mutator<S> {
+    /// Run `f` pinned: a stop-the-world request waits until `f` returns.
+    /// Entering costs two flag accesses and a compiler fence under an
+    /// asymmetric strategy — the fence-free fast path.
+    pub fn pinned<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.handle.read(f)
+    }
+
+    /// A cheap safepoint poll: if a world-stop is pending, park until it
+    /// finishes (acknowledging the collector, which lets it skip the
+    /// signal under the waiting heuristic); otherwise return immediately.
+    pub fn safepoint_check(&self) {
+        self.handle.read(|| {});
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::SignalFence;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
+    use std::time::Duration;
+
+    #[test]
+    fn stop_the_world_excludes_pinned_regions() {
+        let sp = Arc::new(Safepoint::new(Arc::new(SignalFence::new())));
+        let world_stopped = Arc::new(AtomicBool::new(false));
+        let violations = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut mutators = Vec::new();
+        for _ in 0..3 {
+            let sp = sp.clone();
+            let ws = world_stopped.clone();
+            let v = violations.clone();
+            let s = stop.clone();
+            mutators.push(std::thread::spawn(move || {
+                let m = sp.register_mutator();
+                while !s.load(Ordering::Relaxed) {
+                    m.pinned(|| {
+                        if ws.load(Ordering::SeqCst) {
+                            v.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            }));
+        }
+        crate::fence::spin_until(|| sp.mutators() == 3);
+        for _ in 0..20 {
+            sp.stop_the_world(|| {
+                world_stopped.store(true, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_micros(100));
+                world_stopped.store(false, Ordering::SeqCst);
+            });
+        }
+        stop.store(true, Ordering::Relaxed);
+        for m in mutators {
+            m.join().unwrap();
+        }
+        assert_eq!(
+            violations.load(Ordering::Relaxed),
+            0,
+            "a mutator was pinned during a world-stop"
+        );
+        assert_eq!(sp.pauses(), 20);
+    }
+
+    #[test]
+    fn safepoint_check_is_fence_free_when_quiet() {
+        let sp = Arc::new(Safepoint::new(Arc::new(SignalFence::new())));
+        let sp2 = sp.clone();
+        std::thread::spawn(move || {
+            let m = sp2.register_mutator();
+            for _ in 0..500 {
+                m.safepoint_check();
+            }
+        })
+        .join()
+        .unwrap();
+        let snap = sp.lock().strategy().stats().snapshot();
+        assert_eq!(snap.primary_full_fences, 0);
+        assert_eq!(snap.primary_compiler_fences, 500);
+    }
+
+    #[test]
+    fn world_stop_without_mutators_is_immediate() {
+        let sp: Safepoint<SignalFence> = Safepoint::new(Arc::new(SignalFence::new()));
+        let out = sp.stop_the_world(|| 42);
+        assert_eq!(out, 42);
+        assert_eq!(sp.pauses(), 1);
+        assert_eq!(sp.mutators(), 0);
+    }
+}

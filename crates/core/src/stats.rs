@@ -1,0 +1,123 @@
+//! Counters for fence and serialization activity.
+//!
+//! The paper's parallel analysis hinges on two per-run quantities: how many
+//! program-based fences the primary path *avoided*, and how many remote
+//! serializations (signal round trips) the secondary path *paid*. Every
+//! fence strategy carries a [`FenceStats`] so experiments can report both.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative, thread-safe fence statistics.
+#[derive(Debug, Default)]
+pub struct FenceStats {
+    /// Full hardware fences executed on the primary path.
+    pub primary_full_fences: AtomicU64,
+    /// Compiler-only fences executed on the primary path (the asymmetric
+    /// fast path).
+    pub primary_compiler_fences: AtomicU64,
+    /// Full fences executed on the secondary path.
+    pub secondary_full_fences: AtomicU64,
+    /// Remote serializations requested by secondaries.
+    pub serializations_requested: AtomicU64,
+    /// Remote serializations that required an actual signal/membarrier
+    /// round trip (vs. short-circuited).
+    pub serializations_delivered: AtomicU64,
+}
+
+impl FenceStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment one counter (relaxed; reporting only).
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> FenceStatsSnapshot {
+        FenceStatsSnapshot {
+            primary_full_fences: self.primary_full_fences.load(Ordering::Relaxed),
+            primary_compiler_fences: self.primary_compiler_fences.load(Ordering::Relaxed),
+            secondary_full_fences: self.secondary_full_fences.load(Ordering::Relaxed),
+            serializations_requested: self.serializations_requested.load(Ordering::Relaxed),
+            serializations_delivered: self.serializations_delivered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.primary_full_fences.store(0, Ordering::Relaxed);
+        self.primary_compiler_fences.store(0, Ordering::Relaxed);
+        self.secondary_full_fences.store(0, Ordering::Relaxed);
+        self.serializations_requested.store(0, Ordering::Relaxed);
+        self.serializations_delivered.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`FenceStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FenceStatsSnapshot {
+    /// Full hardware fences executed on the primary path.
+    pub primary_full_fences: u64,
+    /// Compiler-only fences executed on the primary path.
+    pub primary_compiler_fences: u64,
+    /// Full fences executed on the secondary path.
+    pub secondary_full_fences: u64,
+    /// Remote serializations requested by secondaries.
+    pub serializations_requested: u64,
+    /// Serializations that required an actual round trip.
+    pub serializations_delivered: u64,
+}
+
+impl FenceStatsSnapshot {
+    /// Fences the primary path avoided relative to a symmetric design
+    /// (every compiler-only fence would have been a full fence).
+    pub fn fences_avoided(&self) -> u64 {
+        self.primary_compiler_fences
+    }
+}
+
+impl fmt::Display for FenceStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "primary full={} compiler={} | secondary full={} | serialize req={} delivered={}",
+            self.primary_full_fences,
+            self.primary_compiler_fences,
+            self.secondary_full_fences,
+            self.serializations_requested,
+            self.serializations_delivered
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = FenceStats::new();
+        FenceStats::bump(&s.primary_full_fences);
+        FenceStats::bump(&s.primary_compiler_fences);
+        FenceStats::bump(&s.primary_compiler_fences);
+        let snap = s.snapshot();
+        assert_eq!(snap.primary_full_fences, 1);
+        assert_eq!(snap.primary_compiler_fences, 2);
+        assert_eq!(snap.fences_avoided(), 2);
+        s.reset();
+        assert_eq!(s.snapshot(), FenceStatsSnapshot::default());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = FenceStats::new();
+        FenceStats::bump(&s.serializations_requested);
+        let text = format!("{}", s.snapshot());
+        assert!(text.contains("serialize req=1"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Fence strategies: program-based, and two software realizations of
+//! location-based memory fences.
+//!
+//! A [`FenceStrategy`] packages the three ordering actions the asymmetric
+//! protocols need:
+//!
+//! * the **primary** thread's store→load ordering point — where the paper
+//!   places `l-mfence` (Figure 3(a), line K1);
+//! * the **secondary** thread's own program-based fence (line J2);
+//! * the secondary's **remote serialization** of the primary — the paper's
+//!   "T2 enforces the fence onto T1".
+//!
+//! | strategy | primary pays | secondary pays | models |
+//! |---|---|---|---|
+//! | [`Symmetric`] | `mfence` | `mfence` | the baseline (Cilk-5 / SRW) |
+//! | [`SignalFence`] | compiler fence | `mfence` + signal round trip (~10⁴ cycles) | the paper's software prototype |
+//! | [`MembarrierFence`] | compiler fence | `mfence` + `membarrier(2)` (~10³ cycles) | kernel-assisted asymmetric fence; brackets the LE/ST hardware from above |
+//! | [`NoFence`] | compiler fence | `mfence`, **no serialization** | the broken Figure-1 protocol, for demonstrations |
+
+use crate::fence::{compiler_fence_only, full_fence};
+use crate::registry::RemoteThread;
+use crate::stats::FenceStats;
+
+/// Ordering actions for one side of an asymmetric synchronization pattern.
+///
+/// Contract required from implementations (the paper's Definition 2, in
+/// software terms): after `serialize_remote(t)` returns, every store that
+/// thread `t` committed before the serialization point is visible to the
+/// caller, provided `t` brackets its own fast path with `primary_fence()`
+/// at the store→load position.
+pub trait FenceStrategy: Send + Sync + 'static {
+    /// The primary's store→load ordering point (the `l-mfence` position).
+    fn primary_fence(&self);
+
+    /// The secondary's own program-based fence (always a real fence: the
+    /// asymmetry only ever removes the *primary's* cost).
+    fn secondary_fence(&self) {
+        full_fence();
+        FenceStats::bump(&self.stats().secondary_full_fences);
+    }
+
+    /// Force `target` to serialize its instruction stream.
+    fn serialize_remote(&self, target: &RemoteThread);
+
+    /// Short machine-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether the primary path avoids the hardware fence.
+    fn is_asymmetric(&self) -> bool;
+
+    /// Activity counters.
+    fn stats(&self) -> &FenceStats;
+}
+
+// ---------------------------------------------------------------------
+// Symmetric (program-based, the baseline)
+// ---------------------------------------------------------------------
+
+/// Program-based fences on both sides; remote serialization is a no-op
+/// because the primary already serialized itself.
+#[derive(Debug, Default)]
+pub struct Symmetric {
+    stats: FenceStats,
+}
+
+impl Symmetric {
+    /// A symmetric (program-based) strategy with fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FenceStrategy for Symmetric {
+    fn primary_fence(&self) {
+        full_fence();
+        FenceStats::bump(&self.stats.primary_full_fences);
+    }
+
+    fn serialize_remote(&self, _target: &RemoteThread) {
+        FenceStats::bump(&self.stats.serializations_requested);
+        // Nothing to do: the primary executed a real fence itself.
+    }
+
+    fn name(&self) -> &'static str {
+        "symmetric-mfence"
+    }
+
+    fn is_asymmetric(&self) -> bool {
+        false
+    }
+
+    fn stats(&self) -> &FenceStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signal-based software prototype (the paper's Section 5 implementation)
+// ---------------------------------------------------------------------
+
+/// The paper's software prototype: the primary runs fence-free (compiler
+/// fence only); the secondary serializes it by sending a POSIX signal and
+/// spinning for the handler's acknowledgment. Signal delivery enters the
+/// kernel on the primary's CPU, draining its store buffer.
+#[derive(Debug, Default)]
+pub struct SignalFence {
+    stats: FenceStats,
+}
+
+impl SignalFence {
+    /// A signal-based strategy with fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FenceStrategy for SignalFence {
+    fn primary_fence(&self) {
+        compiler_fence_only();
+        FenceStats::bump(&self.stats.primary_compiler_fences);
+    }
+
+    fn serialize_remote(&self, target: &RemoteThread) {
+        FenceStats::bump(&self.stats.serializations_requested);
+        if target.serialize() {
+            FenceStats::bump(&self.stats.serializations_delivered);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lbmf-signal"
+    }
+
+    fn is_asymmetric(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> &FenceStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------
+// membarrier(2): the modern kernel-assisted asymmetric fence
+// ---------------------------------------------------------------------
+
+const MEMBARRIER_CMD_QUERY: libc::c_int = 0;
+const MEMBARRIER_CMD_PRIVATE_EXPEDITED: libc::c_int = 8;
+const MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED: libc::c_int = 16;
+
+fn membarrier(cmd: libc::c_int) -> libc::c_long {
+    // SAFETY: membarrier takes no pointers; flags/cpu_id are zero.
+    unsafe { libc::syscall(libc::SYS_membarrier, cmd, 0 as libc::c_int, 0 as libc::c_int) }
+}
+
+/// Kernel-assisted asymmetric fence: `membarrier(PRIVATE_EXPEDITED)` makes
+/// every thread of the process execute a memory barrier before the call
+/// returns, at IPI cost — orders of magnitude cheaper than a signal
+/// handshake, though still above the paper's projected LE/ST cost (which
+/// bothers only the one processor holding the link).
+#[derive(Debug)]
+pub struct MembarrierFence {
+    stats: FenceStats,
+}
+
+impl MembarrierFence {
+    /// Probe for kernel support and register the process. Returns `None`
+    /// when the kernel lacks `MEMBARRIER_CMD_PRIVATE_EXPEDITED`.
+    pub fn try_new() -> Option<Self> {
+        let supported = membarrier(MEMBARRIER_CMD_QUERY);
+        if supported < 0 {
+            return None;
+        }
+        if supported & (MEMBARRIER_CMD_PRIVATE_EXPEDITED as libc::c_long) == 0 {
+            return None;
+        }
+        if membarrier(MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED) != 0 {
+            return None;
+        }
+        Some(MembarrierFence {
+            stats: FenceStats::new(),
+        })
+    }
+}
+
+impl FenceStrategy for MembarrierFence {
+    fn primary_fence(&self) {
+        compiler_fence_only();
+        FenceStats::bump(&self.stats.primary_compiler_fences);
+    }
+
+    fn serialize_remote(&self, _target: &RemoteThread) {
+        FenceStats::bump(&self.stats.serializations_requested);
+        let rc = membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED);
+        debug_assert_eq!(rc, 0, "membarrier failed after successful registration");
+        FenceStats::bump(&self.stats.serializations_delivered);
+    }
+
+    fn name(&self) -> &'static str {
+        "lbmf-membarrier"
+    }
+
+    fn is_asymmetric(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> &FenceStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------
+// NoFence: the deliberately broken Figure-1 protocol
+// ---------------------------------------------------------------------
+
+/// No hardware ordering at all on the primary side and no remote
+/// serialization: the incorrect Figure-1 idiom. Exists so tests and
+/// examples can demonstrate *why* the fence is needed. Never use this for
+/// actual synchronization.
+#[derive(Debug, Default)]
+pub struct NoFence {
+    stats: FenceStats,
+}
+
+impl NoFence {
+    /// The broken strategy (demonstrations only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FenceStrategy for NoFence {
+    fn primary_fence(&self) {
+        compiler_fence_only();
+        FenceStats::bump(&self.stats.primary_compiler_fences);
+    }
+
+    fn serialize_remote(&self, _target: &RemoteThread) {
+        FenceStats::bump(&self.stats.serializations_requested);
+    }
+
+    fn name(&self) -> &'static str {
+        "none (broken)"
+    }
+
+    fn is_asymmetric(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> &FenceStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::register_current_thread;
+
+    #[test]
+    fn symmetric_counts_primary_fences() {
+        let s = Symmetric::new();
+        s.primary_fence();
+        s.primary_fence();
+        s.secondary_fence();
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.primary_full_fences, 2);
+        assert_eq!(snap.secondary_full_fences, 1);
+        assert_eq!(snap.fences_avoided(), 0);
+        assert!(!s.is_asymmetric());
+    }
+
+    #[test]
+    fn signal_fence_roundtrip_counts() {
+        let s = SignalFence::new();
+        s.primary_fence();
+        assert_eq!(s.stats().snapshot().primary_compiler_fences, 1);
+        assert!(s.is_asymmetric());
+
+        // Serialize a live helper thread.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let h = std::thread::spawn(move || {
+            let reg = register_current_thread();
+            tx.send(reg.remote()).unwrap();
+            done_rx.recv().unwrap();
+        });
+        let remote = rx.recv().unwrap();
+        s.serialize_remote(&remote);
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.serializations_requested, 1);
+        assert_eq!(snap.serializations_delivered, 1);
+        done_tx.send(()).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn membarrier_available_on_this_kernel() {
+        // The experiment host runs a modern kernel; if this fails the
+        // harnesses fall back to SignalFence, but we want to know.
+        let m = MembarrierFence::try_new();
+        assert!(m.is_some(), "membarrier PRIVATE_EXPEDITED unsupported");
+        let m = m.unwrap();
+        let reg = register_current_thread();
+        m.serialize_remote(&reg.remote());
+        assert_eq!(m.stats().snapshot().serializations_delivered, 1);
+    }
+
+    #[test]
+    fn nofence_does_nothing_but_count() {
+        let s = NoFence::new();
+        s.primary_fence();
+        let reg = register_current_thread();
+        s.serialize_remote(&reg.remote());
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.serializations_requested, 1);
+        assert_eq!(snap.serializations_delivered, 0);
+    }
+}

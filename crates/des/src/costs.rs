@@ -1,0 +1,183 @@
+//! Cost parameters for the discrete-event simulations.
+//!
+//! All values are cycles on the paper's notional 2 GHz machine, anchored to
+//! the calibration in [`lbmf_sim::cost::CostModel`] and the paper's Section
+//! 5 measurements: an `mfence`-class stall of a few tens of cycles, a
+//! signal round trip of ~10,000 cycles (plus the four kernel/user crossings
+//! the *primary* pays to run the handler), and an LE/ST round trip of ~150
+//! cycles with "negligible" impact on the primary.
+
+use lbmf_sim::cost::CostModel;
+
+/// Which serialization mechanism the simulated asymmetric runtime uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SerializeKind {
+    /// Program-based fences: the victim pays per pop; steals pay nothing
+    /// extra.
+    Symmetric,
+    /// The software prototype: each serialization is a signal round trip
+    /// borne by the requester, plus handler time on the victim.
+    Signal,
+    /// Linux `membarrier(2)`: cheaper kernel-assisted round trip, small
+    /// IPI cost on every other thread.
+    Membarrier,
+    /// The proposed LE/ST hardware: ~150 cycles on the requester only.
+    LeSt,
+}
+
+impl SerializeKind {
+    /// Human-readable mechanism name.
+    pub fn label(self) -> &'static str {
+        match self {
+            SerializeKind::Symmetric => "symmetric-mfence",
+            SerializeKind::Signal => "lbmf-signal",
+            SerializeKind::Membarrier => "lbmf-membarrier",
+            SerializeKind::LeSt => "lbmf-le/st",
+        }
+    }
+
+    /// Whether the primary/victim fast path carries a hardware fence.
+    pub fn victim_pays_fence(self) -> bool {
+        matches!(self, SerializeKind::Symmetric)
+    }
+}
+
+/// Cycle costs used by both simulations.
+#[derive(Clone, Copy, Debug)]
+pub struct DesCosts {
+    /// Full hardware fence (the per-pop / per-read cost under Symmetric).
+    pub mfence: u64,
+    /// Compiler-fence-only ordering point (asymmetric fast path).
+    pub compiler_fence: u64,
+    /// Requester-side cost of one signal round trip.
+    pub serialize_requester_signal: u64,
+    /// Requester-side cost of one `membarrier(2)` round trip.
+    pub serialize_requester_membarrier: u64,
+    /// Requester-side cost of one LE/ST round trip.
+    pub serialize_requester_lest: u64,
+    /// Victim-side cost of signal delivery (four kernel/user crossings).
+    pub serialize_victim_signal: u64,
+    /// Victim-side cost of the membarrier IPI.
+    pub serialize_victim_membarrier: u64,
+    /// Victim-side cost of an LE/ST link break (negligible: SB flush).
+    pub serialize_victim_lest: u64,
+    /// Taking/releasing the deque or writer lock (uncontended).
+    pub lock: u64,
+    /// A cache-to-cache transfer (reading a flag another CPU wrote).
+    pub cache_to_cache: u64,
+}
+
+impl Default for DesCosts {
+    fn default() -> Self {
+        let cm = CostModel::default();
+        DesCosts {
+            mfence: cm.mfence_base,
+            compiler_fence: 0,
+            serialize_requester_signal: cm.signal_roundtrip,
+            serialize_requester_membarrier: 2_000,
+            serialize_requester_lest: cm.cache_to_cache + cm.lest_roundtrip,
+            // The paper: the primary "must handle the signal (which entails
+            // crossing between kernel and user modes four times)".
+            serialize_victim_signal: 4_000,
+            serialize_victim_membarrier: 400,
+            serialize_victim_lest: cm.sb_drain_owned,
+            lock: 40,
+            cache_to_cache: cm.cache_to_cache,
+        }
+    }
+}
+
+impl DesCosts {
+    /// (requester cycles, victim cycles) for one serialization under
+    /// `kind`.
+    pub fn serialize(&self, kind: SerializeKind) -> (u64, u64) {
+        match kind {
+            SerializeKind::Symmetric => (0, 0),
+            SerializeKind::Signal => (self.serialize_requester_signal, self.serialize_victim_signal),
+            SerializeKind::Membarrier => (
+                self.serialize_requester_membarrier,
+                self.serialize_victim_membarrier,
+            ),
+            SerializeKind::LeSt => (self.serialize_requester_lest, self.serialize_victim_lest),
+        }
+    }
+
+    /// Victim-side ordering cost at the l-mfence position.
+    pub fn victim_fence(&self, kind: SerializeKind) -> u64 {
+        if kind.victim_pays_fence() {
+            self.mfence
+        } else {
+            self.compiler_fence
+        }
+    }
+}
+
+/// A deterministic SplitMix64 RNG for simulation decisions.
+#[derive(Clone, Debug)]
+pub struct SimRng(u64);
+
+impl SimRng {
+    /// Seeded generator (same seed, same stream).
+    pub fn new(seed: u64) -> Self {
+        SimRng(seed.wrapping_mul(2).wrapping_add(1))
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `0..n` (0 when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_costs_dominate_lest_by_orders_of_magnitude() {
+        let c = DesCosts::default();
+        let (sig_req, sig_vic) = c.serialize(SerializeKind::Signal);
+        let (lest_req, lest_vic) = c.serialize(SerializeKind::LeSt);
+        assert!(sig_req / lest_req >= 50);
+        assert!(sig_vic > 100 * lest_vic.max(1) / 10);
+        let (sym_req, sym_vic) = c.serialize(SerializeKind::Symmetric);
+        assert_eq!((sym_req, sym_vic), (0, 0));
+    }
+
+    #[test]
+    fn victim_fence_only_for_symmetric() {
+        let c = DesCosts::default();
+        assert!(c.victim_fence(SerializeKind::Symmetric) > 0);
+        assert_eq!(c.victim_fence(SerializeKind::Signal), 0);
+        assert_eq!(c.victim_fence(SerializeKind::LeSt), 0);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = SimRng::new(3);
+        for _ in 0..100 {
+            assert!(r.below(5) < 5);
+        }
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.below(1), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # lbmf-des — discrete-event reproductions of the parallel experiments
+//!
+//! The paper's Figure 5(b) (ACilk-5 vs Cilk-5 on 16 cores) and Figure 6
+//! (ARW / ARW+ vs SRW across thread counts) were measured on a 16-core
+//! Opteron. This repository's host has **one** core, so these experiments
+//! are reproduced as discrete-event simulations whose per-operation costs
+//! come from the same calibration as the cycle-level machine model in
+//! `lbmf-sim` (mfence stalls, ~10⁴-cycle signal round trips, ~150-cycle
+//! LE/ST round trips).
+//!
+//! * [`steal_sim`] — a sequentialized copy of the `lbmf-cilk` scheduler
+//!   running over lazily-expanded fork-join DAGs ([`dag::Task`]) that
+//!   mirror the twelve benchmarks' spawn structures.
+//! * [`rw_sim`] — the readers-writer microbenchmark with the paper's three
+//!   lock variants, including the ARW+ waiting heuristic.
+//! * [`costs`] — the shared cost table and the serialization-mechanism
+//!   axis (symmetric mfence, signal, membarrier, proposed LE/ST hardware).
+
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod dag;
+pub mod rw_sim;
+pub mod steal_sim;
+
+pub use costs::{DesCosts, SerializeKind};
+pub use dag::Task;
+pub use rw_sim::{RwSimConfig, RwSimResult, RwVariant};
+pub use steal_sim::{SchedCosts, StealSimConfig, StealSimResult};

@@ -1,0 +1,333 @@
+//! Discrete-event simulation of the ARW / ARW+ / SRW readers-writer locks
+//! — the Figure 6 substitute for a 16-core machine.
+//!
+//! The paper's microbenchmark: `P` threads each mostly read a 4-element
+//! array; with a read-to-write ratio of `N:1`, each thread performs one
+//! write every `N/P` reads. The three lock variants differ exactly where
+//! the paper says:
+//!
+//! * **SRW**: every read pays an `mfence`; the writer publishes intent,
+//!   fences, and waits for the per-reader flags directly.
+//! * **ARW**: reads are fence-free; the writer serializes each registered
+//!   reader *one by one* ("the writer ends up signaling a list of readers
+//!   and waiting for their responses one by one, which becomes a
+//!   serializing bottleneck").
+//! * **ARW+**: the writer first publishes intent and spin-waits up to a
+//!   window; readers acknowledge at their next lock acquire/release
+//!   (paying a voluntary fence), and only unacknowledged readers get
+//!   signaled.
+
+use crate::costs::{DesCosts, SerializeKind};
+
+/// Which lock variant to simulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RwVariant {
+    /// Symmetric: mfence on every read.
+    Srw,
+    /// Asymmetric, no waiting heuristic.
+    Arw {
+        /// The remote-serialization mechanism writers use.
+        serialize: SerializeKind,
+    },
+    /// Asymmetric with the waiting heuristic.
+    ArwPlus {
+        /// The remote-serialization mechanism writers fall back to.
+        serialize: SerializeKind,
+        /// Spin window in cycles before signaling unacknowledged readers.
+        window: u64,
+    },
+}
+
+impl RwVariant {
+    /// Human-readable variant name.
+    pub fn label(self) -> String {
+        match self {
+            RwVariant::Srw => "SRW".to_string(),
+            RwVariant::Arw { serialize } => format!("ARW[{}]", serialize.label()),
+            RwVariant::ArwPlus { serialize, window } => {
+                format!("ARW+[{} w={}]", serialize.label(), window)
+            }
+        }
+    }
+}
+
+/// Simulation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RwSimConfig {
+    /// Number of simulated threads.
+    pub threads: usize,
+    /// Read-to-write ratio `N` (a write every `N / threads` reads per
+    /// thread, as in the paper).
+    pub ratio: u64,
+    /// The lock variant under test.
+    pub variant: RwVariant,
+    /// Cycle cost table.
+    pub costs: DesCosts,
+    /// Reads each thread performs before the simulation ends.
+    pub reads_per_thread: u64,
+    /// Cycles spent inside a read section (the 4-element array read).
+    pub read_work: u64,
+    /// Cycles spent inside a write section.
+    pub write_work: u64,
+    /// Flag store + branch on the reader fast path, excluding the fence.
+    pub read_overhead: u64,
+}
+
+impl RwSimConfig {
+    /// A configuration with the default cost table and workload sizes.
+    pub fn new(threads: usize, ratio: u64, variant: RwVariant) -> Self {
+        RwSimConfig {
+            threads,
+            ratio,
+            variant,
+            costs: DesCosts::default(),
+            reads_per_thread: 30_000,
+            read_work: 16,
+            write_work: 24,
+            read_overhead: 8,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct RwSimResult {
+    /// Virtual completion time (cycles).
+    pub makespan: u64,
+    /// Read sections completed.
+    pub reads: u64,
+    /// Write sections completed.
+    pub writes: u64,
+    /// Serializations (signals/membarriers) writers performed.
+    pub serializations: u64,
+    /// Signals skipped thanks to the waiting heuristic.
+    pub signals_skipped: u64,
+    /// Reads that collided with an active write session.
+    pub read_conflicts: u64,
+}
+
+impl RwSimResult {
+    /// Reads per mega-cycle — Figure 6's throughput metric.
+    pub fn read_throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.reads as f64 * 1e6 / self.makespan as f64
+    }
+}
+
+struct Thread {
+    clock: u64,
+    reads_done: u64,
+    reads_since_write: u64,
+    /// The thread acknowledged writer intent up to this session id.
+    acked_session: u64,
+}
+
+/// Run the simulation.
+pub fn simulate(cfg: &RwSimConfig) -> RwSimResult {
+    assert!(cfg.threads >= 1);
+    let p = cfg.threads as u64;
+    let writes_every = (cfg.ratio / p).max(1);
+    let mut threads: Vec<Thread> = (0..cfg.threads)
+        .map(|i| Thread {
+            // Tiny deterministic skew so threads do not act in lockstep.
+            clock: i as u64 * 7,
+            reads_done: 0,
+            reads_since_write: 0,
+            acked_session: 0,
+        })
+        .collect();
+    let mut res = RwSimResult {
+        makespan: 0,
+        reads: 0,
+        writes: 0,
+        serializations: 0,
+        signals_skipped: 0,
+        read_conflicts: 0,
+    };
+    // The single most recent write session (writers are serialized by the
+    // writer mutex, so one interval suffices for overlap checks as long as
+    // we process threads in clock order).
+    let mut session_id: u64 = 0;
+    let mut session_start: u64 = 0;
+    let mut session_end: u64 = 0;
+    let mut writer_free_at: u64 = 0;
+
+    while let Some(t) = (0..cfg.threads)
+        .filter(|&i| threads[i].reads_done < cfg.reads_per_thread)
+        .min_by_key(|&i| threads[i].clock)
+    {
+        // `t` is the unfinished thread with the smallest clock.
+        let now = threads[t].clock;
+
+        if threads[t].reads_since_write >= writes_every {
+            // ----- write -----
+            threads[t].reads_since_write = 0;
+            let start = now.max(writer_free_at) + cfg.costs.lock;
+            session_id += 1;
+            // Publish intent + the writer's own fence.
+            let mut time = start + cfg.costs.mfence;
+            match cfg.variant {
+                RwVariant::Srw => {
+                    // Readers fenced themselves; just observe their flags.
+                    time += cfg.threads as u64 * cfg.costs.cache_to_cache / 2;
+                }
+                RwVariant::Arw { serialize } => {
+                    // Serialize every registered reader, one by one.
+                    for (j, th) in threads.iter_mut().enumerate() {
+                        if j == t {
+                            continue;
+                        }
+                        let (req, vic) = cfg.costs.serialize(serialize);
+                        time += req;
+                        th.clock = th.clock.max(time).saturating_add(vic);
+                        res.serializations += 1;
+                    }
+                }
+                RwVariant::ArwPlus { serialize, window } => {
+                    // Readers notice the intent at their next acquire /
+                    // release — i.e. when their clock next advances past
+                    // `start`.
+                    let deadline = start + window;
+                    let mut latest_ack = time;
+                    for (j, th) in threads.iter_mut().enumerate() {
+                        if j == t {
+                            continue;
+                        }
+                        let ack_at = th.clock.max(start) + cfg.costs.mfence;
+                        if ack_at <= deadline {
+                            // Acks within the window: no signal needed.
+                            th.acked_session = session_id;
+                            th.clock = th.clock.max(ack_at);
+                            latest_ack = latest_ack.max(ack_at);
+                            res.signals_skipped += 1;
+                        } else {
+                            let (req, vic) = cfg.costs.serialize(serialize);
+                            latest_ack = latest_ack.max(deadline) + req;
+                            th.clock = th.clock.max(latest_ack).saturating_add(vic);
+                            res.serializations += 1;
+                        }
+                    }
+                    time = latest_ack;
+                }
+            }
+            time += cfg.write_work;
+            session_start = start;
+            session_end = time;
+            writer_free_at = time;
+            res.writes += 1;
+            threads[t].clock = time + cfg.costs.lock / 2;
+        } else {
+            // ----- read -----
+            let fence = match cfg.variant {
+                RwVariant::Srw => cfg.costs.mfence,
+                _ => cfg.costs.compiler_fence,
+            };
+            let mut time = now + cfg.read_overhead + fence;
+            if time >= session_start && time < session_end {
+                // Writer active: back off, fence, wait for the session end.
+                res.read_conflicts += 1;
+                time = session_end + cfg.costs.mfence + cfg.read_overhead;
+            }
+            time += cfg.read_work;
+            threads[t].clock = time;
+            threads[t].reads_done += 1;
+            threads[t].reads_since_write += 1;
+            res.reads += 1;
+        }
+    }
+    res.makespan = threads.iter().map(|t| t.clock).max().unwrap_or(0);
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(threads: usize, ratio: u64, variant: RwVariant) -> RwSimResult {
+        let mut cfg = RwSimConfig::new(threads, ratio, variant);
+        cfg.reads_per_thread = 5_000;
+        simulate(&cfg)
+    }
+
+    const SIG: SerializeKind = SerializeKind::Signal;
+
+    #[test]
+    fn read_counts_match_configuration() {
+        let r = run(4, 1000, RwVariant::Srw);
+        assert_eq!(r.reads, 4 * 5_000);
+        assert!(r.writes > 0);
+    }
+
+    #[test]
+    fn single_thread_arw_beats_srw() {
+        // With one thread the asymmetric lock wins outright: reads carry
+        // no fence and writes serialize nobody.
+        let srw = run(1, 1000, RwVariant::Srw);
+        let arw = run(1, 1000, RwVariant::Arw { serialize: SIG });
+        assert!(
+            arw.read_throughput() > 1.5 * srw.read_throughput(),
+            "ARW {} vs SRW {}",
+            arw.read_throughput(),
+            srw.read_throughput()
+        );
+        assert_eq!(arw.serializations, 0);
+    }
+
+    #[test]
+    fn arw_collapses_at_low_ratio_high_threads() {
+        // Figure 6(a): the one-by-one signaling bottleneck.
+        let srw = run(16, 300, RwVariant::Srw);
+        let arw = run(16, 300, RwVariant::Arw { serialize: SIG });
+        assert!(
+            arw.read_throughput() < srw.read_throughput(),
+            "ARW {} vs SRW {}",
+            arw.read_throughput(),
+            srw.read_throughput()
+        );
+        assert!(arw.serializations > 0);
+    }
+
+    #[test]
+    fn arw_wins_at_high_ratio() {
+        // Figure 6(a): with writes rare, fence-free reads dominate.
+        let srw = run(8, 100_000, RwVariant::Srw);
+        let arw = run(8, 100_000, RwVariant::Arw { serialize: SIG });
+        assert!(
+            arw.read_throughput() > srw.read_throughput(),
+            "ARW {} vs SRW {}",
+            arw.read_throughput(),
+            srw.read_throughput()
+        );
+    }
+
+    #[test]
+    fn waiting_heuristic_rescues_low_ratio() {
+        // Figure 6(b): ARW+ skips nearly all signals because busy readers
+        // acknowledge quickly.
+        let arw = run(16, 300, RwVariant::Arw { serialize: SIG });
+        let arw_plus = run(
+            16,
+            300,
+            RwVariant::ArwPlus { serialize: SIG, window: 20_000 },
+        );
+        assert!(arw_plus.read_throughput() > arw.read_throughput());
+        assert!(arw_plus.signals_skipped > arw_plus.serializations);
+    }
+
+    #[test]
+    fn lest_serialization_beats_signal_serialization() {
+        let sig = run(16, 300, RwVariant::Arw { serialize: SerializeKind::Signal });
+        let lest = run(16, 300, RwVariant::Arw { serialize: SerializeKind::LeSt });
+        assert!(lest.read_throughput() > sig.read_throughput());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(8, 500, RwVariant::Arw { serialize: SIG });
+        let b = run(8, 500, RwVariant::Arw { serialize: SIG });
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.reads, b.reads);
+    }
+}

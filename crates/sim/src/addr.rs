@@ -1,0 +1,111 @@
+//! Word addresses and cache-line geometry.
+//!
+//! The simulated machine is word-addressed (one `u64` per address). Cache
+//! lines group `2^line_shift` consecutive words; with the default
+//! `line_shift == 0` every word is its own line, which is the natural
+//! geometry for model checking protocol programs (no false sharing). Tests
+//! that want to exercise false sharing — e.g. an unrelated access on the
+//! same line breaking an `l-mfence` link — use a larger shift.
+
+use std::fmt;
+
+/// A word address in the simulated machine's memory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Addr(pub u64);
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Identifier of a cache line: the address with the word-offset bits dropped.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LineId(pub u64);
+
+impl fmt::Display for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Cache-line geometry: how word addresses map onto lines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Geometry {
+    /// log2 of the number of words per cache line.
+    pub line_shift: u32,
+}
+
+impl Geometry {
+    /// Geometry with `2^line_shift` words per line.
+    pub fn new(line_shift: u32) -> Self {
+        assert!(line_shift < 16, "unreasonably large cache line");
+        Geometry { line_shift }
+    }
+
+    /// Number of words held by one cache line.
+    #[inline]
+    pub fn words_per_line(&self) -> usize {
+        1usize << self.line_shift
+    }
+
+    /// The line containing `addr`.
+    #[inline]
+    pub fn line_of(&self, addr: Addr) -> LineId {
+        LineId(addr.0 >> self.line_shift)
+    }
+
+    /// First word address of `line`.
+    #[inline]
+    pub fn base(&self, line: LineId) -> Addr {
+        Addr(line.0 << self.line_shift)
+    }
+
+    /// Offset of `addr` within its line, in words.
+    #[inline]
+    pub fn offset(&self, addr: Addr) -> usize {
+        (addr.0 & ((1 << self.line_shift) - 1)) as usize
+    }
+
+    /// Iterate over every word address of `line`.
+    pub fn words_of(&self, line: LineId) -> impl Iterator<Item = Addr> + '_ {
+        let base = self.base(line).0;
+        (0..self.words_per_line() as u64).map(move |i| Addr(base + i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_one_word_per_line() {
+        let g = Geometry::default();
+        assert_eq!(g.words_per_line(), 1);
+        assert_eq!(g.line_of(Addr(7)), LineId(7));
+        assert_eq!(g.base(LineId(7)), Addr(7));
+        assert_eq!(g.offset(Addr(7)), 0);
+    }
+
+    #[test]
+    fn wide_lines_group_words() {
+        let g = Geometry::new(2); // 4 words per line
+        assert_eq!(g.words_per_line(), 4);
+        assert_eq!(g.line_of(Addr(0)), g.line_of(Addr(3)));
+        assert_ne!(g.line_of(Addr(3)), g.line_of(Addr(4)));
+        assert_eq!(g.base(LineId(1)), Addr(4));
+        assert_eq!(g.offset(Addr(6)), 2);
+        let words: Vec<_> = g.words_of(LineId(1)).collect();
+        assert_eq!(words, vec![Addr(4), Addr(5), Addr(6), Addr(7)]);
+    }
+
+    #[test]
+    fn offsets_round_trip() {
+        let g = Geometry::new(3);
+        for a in 0..64 {
+            let addr = Addr(a);
+            let line = g.line_of(addr);
+            assert_eq!(g.base(line).0 + g.offset(addr) as u64, a);
+        }
+    }
+}

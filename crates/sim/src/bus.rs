@@ -1,0 +1,131 @@
+//! Snooping-bus bookkeeping: transaction kinds and traffic statistics.
+//!
+//! The coherence *logic* lives in [`crate::machine`] (it needs simultaneous
+//! access to every cache and store buffer); this module names the bus
+//! transactions and counts them, so experiments can report coherence traffic
+//! alongside cycle counts.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// A bus transaction kind, in MESI terms.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BusOp {
+    /// Read request (another cache or memory supplies the line; owners
+    /// downgrade to S).
+    BusRd,
+    /// Read-for-ownership (everyone else invalidates).
+    BusRdX,
+    /// Upgrade from S to E/M without a data transfer.
+    BusUpgr,
+    /// Writeback of a Modified line to memory.
+    Writeback,
+}
+
+impl fmt::Display for BusOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BusOp::BusRd => "BusRd",
+            BusOp::BusRdX => "BusRdX",
+            BusOp::BusUpgr => "BusUpgr",
+            BusOp::Writeback => "Writeback",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cumulative bus/coherence statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Read requests (BusRd) issued.
+    pub bus_rd: u64,
+    /// Read-for-ownership requests (BusRdX) issued.
+    pub bus_rdx: u64,
+    /// Shared-to-exclusive upgrades (BusUpgr) issued.
+    pub bus_upgr: u64,
+    /// Modified/Owned lines written back to memory.
+    pub writebacks: u64,
+    /// Misses served cache-to-cache (vs from memory).
+    pub cache_to_cache: u64,
+    /// Times a coherence request hit a set LE/ST link and forced a remote
+    /// store-buffer flush (the location-based serializations).
+    pub link_breaks_remote: u64,
+    /// Links cleared because the guarded store completed naturally.
+    pub link_natural_completions: u64,
+    /// Links cleared by eviction of the guarded line.
+    pub link_breaks_eviction: u64,
+    /// mfence instructions retired.
+    pub mfences: u64,
+    /// Individual store completions (store-buffer drains).
+    pub store_completions: u64,
+}
+
+impl BusStats {
+    /// Count one bus transaction of kind `op`.
+    pub fn record(&mut self, op: BusOp) {
+        match op {
+            BusOp::BusRd => self.bus_rd += 1,
+            BusOp::BusRdX => self.bus_rdx += 1,
+            BusOp::BusUpgr => self.bus_upgr += 1,
+            BusOp::Writeback => self.writebacks += 1,
+        }
+    }
+
+    /// Total coherence transactions (excluding writebacks).
+    pub fn total_requests(&self) -> u64 {
+        self.bus_rd + self.bus_rdx + self.bus_upgr
+    }
+}
+
+impl AddAssign for BusStats {
+    fn add_assign(&mut self, o: Self) {
+        self.bus_rd += o.bus_rd;
+        self.bus_rdx += o.bus_rdx;
+        self.bus_upgr += o.bus_upgr;
+        self.writebacks += o.writebacks;
+        self.cache_to_cache += o.cache_to_cache;
+        self.link_breaks_remote += o.link_breaks_remote;
+        self.link_natural_completions += o.link_natural_completions;
+        self.link_breaks_eviction += o.link_breaks_eviction;
+        self.mfences += o.mfences;
+        self.store_completions += o.store_completions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_counts_each_kind() {
+        let mut s = BusStats::default();
+        s.record(BusOp::BusRd);
+        s.record(BusOp::BusRd);
+        s.record(BusOp::BusRdX);
+        s.record(BusOp::BusUpgr);
+        s.record(BusOp::Writeback);
+        assert_eq!(s.bus_rd, 2);
+        assert_eq!(s.bus_rdx, 1);
+        assert_eq!(s.bus_upgr, 1);
+        assert_eq!(s.writebacks, 1);
+        assert_eq!(s.total_requests(), 4);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = BusStats {
+            bus_rd: 1,
+            mfences: 2,
+            ..Default::default()
+        };
+        let b = BusStats {
+            bus_rd: 3,
+            link_breaks_remote: 5,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.bus_rd, 4);
+        assert_eq!(a.mfences, 2);
+        assert_eq!(a.link_breaks_remote, 5);
+    }
+}

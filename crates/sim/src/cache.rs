@@ -1,0 +1,253 @@
+//! A per-processor private cache with MESI states and LRU eviction.
+//!
+//! Capacity is configurable; the default used by the model checker is
+//! effectively unbounded (protocol programs touch a handful of lines), while
+//! tests that exercise the LE/ST *eviction* path — "it is necessary for the
+//! cache controller to notify the processor when it needs to evict the cache
+//! line" (Section 3) — use a small capacity.
+
+use crate::addr::{Addr, Geometry, LineId};
+use crate::mesi::Mesi;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// One resident cache line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheLine {
+    /// Coherence state of this copy.
+    pub state: Mesi,
+    /// Word data, indexed by offset within the line.
+    pub data: Vec<u64>,
+    /// LRU timestamp (excluded from semantic fingerprints).
+    pub lru: u64,
+}
+
+/// A private cache: LineId -> line, with LRU eviction at `capacity`.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    lines: BTreeMap<LineId, CacheLine>,
+    capacity: usize,
+    lru_clock: u64,
+}
+
+impl Cache {
+    /// A cache holding at most `capacity` lines. Use `usize::MAX` for the
+    /// model checker's unbounded cache.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache needs at least one line");
+        Cache {
+            lines: BTreeMap::new(),
+            capacity,
+            lru_clock: 0,
+        }
+    }
+
+    /// Maximum number of resident lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// MESI state of `line` (I if absent).
+    pub fn state(&self, line: LineId) -> Mesi {
+        self.lines.get(&line).map(|l| l.state).unwrap_or(Mesi::I)
+    }
+
+    /// The resident line, if any.
+    pub fn get(&self, line: LineId) -> Option<&CacheLine> {
+        self.lines.get(&line)
+    }
+
+    /// Read the word at `addr`; the line must be resident and readable.
+    pub fn read_word(&mut self, geom: &Geometry, addr: Addr) -> u64 {
+        let line_id = geom.line_of(addr);
+        self.lru_clock += 1;
+        let lru = self.lru_clock;
+        let line = self
+            .lines
+            .get_mut(&line_id)
+            .expect("read_word on non-resident line");
+        debug_assert!(line.state.readable());
+        line.lru = lru;
+        line.data[geom.offset(addr)]
+    }
+
+    /// Write the word at `addr` and mark the line Modified; the line must be
+    /// resident in M or E.
+    pub fn write_word(&mut self, geom: &Geometry, addr: Addr, val: u64) {
+        let line_id = geom.line_of(addr);
+        self.lru_clock += 1;
+        let lru = self.lru_clock;
+        let line = self
+            .lines
+            .get_mut(&line_id)
+            .expect("write_word on non-resident line");
+        debug_assert!(
+            line.state.writable_silently(),
+            "write requires M/E, found {}",
+            line.state
+        );
+        line.state = Mesi::M;
+        line.lru = lru;
+        line.data[geom.offset(addr)] = val;
+    }
+
+    /// Change the MESI state of a resident line.
+    pub fn set_state(&mut self, line: LineId, state: Mesi) {
+        if state == Mesi::I {
+            self.lines.remove(&line);
+        } else {
+            self.lines
+                .get_mut(&line)
+                .expect("set_state on non-resident line")
+                .state = state;
+        }
+    }
+
+    /// Drop a line (invalidate).
+    pub fn invalidate(&mut self, line: LineId) {
+        self.lines.remove(&line);
+    }
+
+    /// Insert a line with the given state/data. If the cache is at capacity
+    /// the least-recently-used *other* line is evicted and returned so the
+    /// machine can write back M data and run the LE/ST eviction hook.
+    pub fn insert(
+        &mut self,
+        line_id: LineId,
+        state: Mesi,
+        data: Vec<u64>,
+    ) -> Option<(LineId, CacheLine)> {
+        debug_assert!(state != Mesi::I);
+        self.lru_clock += 1;
+        let evicted = if !self.lines.contains_key(&line_id) && self.lines.len() >= self.capacity {
+            let victim = self
+                .lines
+                .iter()
+                .filter(|(id, _)| **id != line_id)
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(id, _)| *id)
+                .expect("capacity >= 1 guarantees a victim");
+            let old = self.lines.remove(&victim).unwrap();
+            Some((victim, old))
+        } else {
+            None
+        };
+        self.lines.insert(
+            line_id,
+            CacheLine {
+                state,
+                data,
+                lru: self.lru_clock,
+            },
+        );
+        evicted
+    }
+
+    /// Iterate resident lines in LineId order.
+    pub fn iter(&self) -> impl Iterator<Item = (&LineId, &CacheLine)> {
+        self.lines.iter()
+    }
+
+    /// Feed semantic content (states + data, not LRU) into a hasher.
+    pub fn hash_into<H: Hasher>(&self, h: &mut H) {
+        self.lines.len().hash(h);
+        for (id, line) in &self.lines {
+            id.hash(h);
+            line.state.hash(h);
+            line.data.hash(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::default()
+    }
+
+    #[test]
+    fn absent_lines_are_invalid() {
+        let c = Cache::new(4);
+        assert_eq!(c.state(LineId(3)), Mesi::I);
+    }
+
+    #[test]
+    fn insert_read_write_roundtrip() {
+        let g = geom();
+        let mut c = Cache::new(4);
+        c.insert(LineId(1), Mesi::E, vec![42]);
+        assert_eq!(c.state(LineId(1)), Mesi::E);
+        assert_eq!(c.read_word(&g, Addr(1)), 42);
+        c.write_word(&g, Addr(1), 7);
+        assert_eq!(c.state(LineId(1)), Mesi::M);
+        assert_eq!(c.read_word(&g, Addr(1)), 7);
+    }
+
+    #[test]
+    fn lru_eviction_picks_coldest() {
+        let g = geom();
+        let mut c = Cache::new(2);
+        c.insert(LineId(1), Mesi::E, vec![1]);
+        c.insert(LineId(2), Mesi::E, vec![2]);
+        // Touch line 1 so line 2 is the LRU victim.
+        let _ = c.read_word(&g, Addr(1));
+        let evicted = c.insert(LineId(3), Mesi::E, vec![3]);
+        assert_eq!(evicted.map(|(id, _)| id), Some(LineId(2)));
+        assert_eq!(c.state(LineId(1)), Mesi::E);
+        assert_eq!(c.state(LineId(3)), Mesi::E);
+        assert_eq!(c.state(LineId(2)), Mesi::I);
+    }
+
+    #[test]
+    fn reinserting_resident_line_does_not_evict() {
+        let mut c = Cache::new(2);
+        c.insert(LineId(1), Mesi::S, vec![1]);
+        c.insert(LineId(2), Mesi::S, vec![2]);
+        let evicted = c.insert(LineId(1), Mesi::E, vec![9]);
+        assert!(evicted.is_none());
+        assert_eq!(c.state(LineId(1)), Mesi::E);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn set_state_to_invalid_removes() {
+        let mut c = Cache::new(2);
+        c.insert(LineId(1), Mesi::M, vec![1]);
+        c.set_state(LineId(1), Mesi::S);
+        assert_eq!(c.state(LineId(1)), Mesi::S);
+        c.set_state(LineId(1), Mesi::I);
+        assert_eq!(c.state(LineId(1)), Mesi::I);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_ignores_lru() {
+        use std::collections::hash_map::DefaultHasher;
+        let g = geom();
+        let fp = |c: &Cache| {
+            let mut h = DefaultHasher::new();
+            c.hash_into(&mut h);
+            h.finish()
+        };
+        let mut a = Cache::new(4);
+        let mut b = Cache::new(4);
+        a.insert(LineId(1), Mesi::E, vec![1]);
+        b.insert(LineId(1), Mesi::E, vec![1]);
+        let _ = a.read_word(&g, Addr(1)); // bumps LRU only
+        assert_eq!(fp(&a), fp(&b));
+        b.insert(LineId(2), Mesi::S, vec![2]);
+        assert_ne!(fp(&a), fp(&b));
+    }
+}

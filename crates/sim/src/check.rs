@@ -1,0 +1,272 @@
+//! Trace and state checkers: the empirical form of the paper's definitions.
+//!
+//! * [`check_load_values`] — Definition 1's serialization order: every load
+//!   observes either its own buffered store (forwarding) or the latest
+//!   *completed* store to the location.
+//! * [`check_fifo_completion`] — ordering principle 3 of Section 2: a CPU's
+//!   stores complete in commit (program) order.
+//! * [`check_guarded_visibility`] — Lemma 3: once an `l-mfence` store has
+//!   committed, any other processor's (non-forwarded) load of the guarded
+//!   location observes the store's completion first.
+//! * [`check_no_mutex_violation`] — Theorem 7's oracle.
+
+use crate::machine::Machine;
+use crate::trace::{EventKind, Trace};
+use std::collections::HashMap;
+
+/// Every load must read the latest completed store to its address (when
+/// served by the cache) or the youngest prior committed store by the same
+/// CPU (when forwarded). Memory starts zeroed (plus any initial pokes,
+/// passed via `initial` as `(addr, value)` pairs).
+pub fn check_load_values(trace: &Trace, initial: &[(crate::addr::Addr, u64)]) -> Result<(), String> {
+    let mut completed: HashMap<u64, u64> = initial.iter().map(|(a, v)| (a.0, *v)).collect();
+    // Per (cpu, addr): value of the youngest committed store (completed or
+    // not) — what forwarding would return if an entry is still buffered.
+    let mut committed: HashMap<(usize, u64), u64> = HashMap::new();
+    for ev in trace.iter() {
+        match ev.kind {
+            EventKind::StoreCommitted { addr, val, .. } => {
+                committed.insert((ev.cpu, addr.0), val);
+            }
+            EventKind::StoreCompleted { addr, val, .. } => {
+                completed.insert(addr.0, val);
+            }
+            EventKind::LoadCommitted { addr, val, forwarded } => {
+                if forwarded {
+                    let expect = committed.get(&(ev.cpu, addr.0)).copied();
+                    if expect != Some(val) {
+                        return Err(format!(
+                            "forwarded load at seq {} on cpu{} read {} but youngest \
+                             committed store to {addr} was {:?}\n{}",
+                            ev.seq,
+                            ev.cpu,
+                            val,
+                            expect,
+                            trace.dump()
+                        ));
+                    }
+                } else {
+                    let expect = completed.get(&addr.0).copied().unwrap_or(0);
+                    if expect != val {
+                        return Err(format!(
+                            "load at seq {} on cpu{} read {} but latest completed \
+                             store to {addr} was {}\n{}",
+                            ev.seq,
+                            ev.cpu,
+                            val,
+                            expect,
+                            trace.dump()
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Stores by each CPU must complete in the order they committed (FIFO store
+/// buffer; ordering principle 3).
+pub fn check_fifo_completion(trace: &Trace) -> Result<(), String> {
+    let mut last_seq: HashMap<usize, u64> = HashMap::new();
+    for ev in trace.iter() {
+        if let EventKind::StoreCompleted { commit_seq, .. } = ev.kind {
+            if let Some(prev) = last_seq.get(&ev.cpu) {
+                if commit_seq <= *prev {
+                    return Err(format!(
+                        "cpu{} completed store with commit_seq {} after {} — FIFO violated\n{}",
+                        ev.cpu,
+                        commit_seq,
+                        prev,
+                        trace.dump()
+                    ));
+                }
+            }
+            last_seq.insert(ev.cpu, commit_seq);
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 3: after a *guarded* store commits, any other CPU's non-forwarded
+/// load of that address must be preceded by the store's completion.
+pub fn check_guarded_visibility(trace: &Trace) -> Result<(), String> {
+    // Collect (commit_seq -> completion seq) for all stores.
+    let mut completion_at: HashMap<u64, u64> = HashMap::new();
+    for ev in trace.iter() {
+        if let EventKind::StoreCompleted { commit_seq, .. } = ev.kind {
+            completion_at.insert(commit_seq, ev.seq);
+        }
+    }
+    // For each guarded commit, scan later remote loads of the address until
+    // the location is overwritten by a later store completion.
+    for (idx, ev) in trace.iter().enumerate() {
+        let (g_addr, g_cpu, g_commit) = match ev.kind {
+            EventKind::StoreCommitted { addr, guarded: true, .. } => (addr, ev.cpu, ev.seq),
+            _ => continue,
+        };
+        let completed_seq = completion_at.get(&g_commit).copied();
+        for later in trace.events[idx + 1..].iter() {
+            match later.kind {
+                EventKind::LoadCommitted { addr, forwarded: false, .. }
+                    if addr == g_addr && later.cpu != g_cpu =>
+                {
+                    match completed_seq {
+                        Some(c) if c < later.seq => {} // completion precedes: OK
+                        _ => {
+                            return Err(format!(
+                                "guarded store (commit seq {g_commit}) to {g_addr} read by \
+                                 cpu{} at seq {} before it completed\n{}",
+                                later.cpu,
+                                later.seq,
+                                trace.dump()
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Theorem 7's oracle: no reachable state had two CPUs in their critical
+/// sections simultaneously.
+pub fn check_no_mutex_violation(m: &Machine) -> Result<(), String> {
+    if m.mutex_violations > 0 {
+        Err(format!(
+            "{} mutual-exclusion violation(s)\n{}",
+            m.mutex_violations,
+            m.trace.dump()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Run all trace checks plus coherence invariants on a finished machine.
+pub fn check_all(m: &Machine, initial: &[(crate::addr::Addr, u64)]) -> Result<(), String> {
+    m.check_coherence()?;
+    check_load_values(&m.trace, initial)?;
+    check_fifo_completion(&m.trace)?;
+    check_guarded_visibility(&m.trace)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::isa::ProgramBuilder;
+    use crate::machine::{Machine, MachineConfig, Transition};
+    use crate::cost::CostModel;
+    use crate::trace::Event;
+
+    fn run_round_robin(m: &mut Machine) {
+        let mut guard = 0;
+        while !m.is_terminal() {
+            let ts = m.enabled_transitions();
+            m.apply(ts[0]);
+            guard += 1;
+            assert!(guard < 100_000);
+        }
+    }
+
+    fn traced_machine(progs: Vec<crate::isa::Program>) -> Machine {
+        Machine::new(MachineConfig::default(), CostModel::zero(), progs)
+    }
+
+    #[test]
+    fn checks_pass_on_simple_execution() {
+        let mut b0 = ProgramBuilder::new("a");
+        b0.st(Addr(1), 7u64).ld(0, Addr(1)).mfence().ld(1, Addr(2)).halt();
+        let mut b1 = ProgramBuilder::new("b");
+        b1.st(Addr(2), 9u64).mfence().ld(0, Addr(1)).halt();
+        let mut m = traced_machine(vec![b0.build(), b1.build()]);
+        run_round_robin(&mut m);
+        check_all(&m, &[]).unwrap();
+    }
+
+    #[test]
+    fn guarded_visibility_passes_for_lmfence_protocol() {
+        let mut b0 = ProgramBuilder::new("p");
+        b0.lmfence(Addr(1), 5u64).halt();
+        let mut b1 = ProgramBuilder::new("s");
+        b1.ld(0, Addr(1)).halt();
+        let mut m = traced_machine(vec![b0.build(), b1.build()]);
+        // Primary commits everything first, then the secondary loads.
+        while !m.cpus[0].halted {
+            m.apply(Transition::Step(0));
+        }
+        m.apply(Transition::Step(1));
+        m.flush_all();
+        check_all(&m, &[]).unwrap();
+        assert_eq!(m.cpus[1].regs[0], 5);
+    }
+
+    #[test]
+    fn fifo_checker_catches_fabricated_violation() {
+        use crate::trace::{EventKind, Trace};
+        let mut t = Trace::new();
+        t.push(Event {
+            seq: 1,
+            cpu: 0,
+            kind: EventKind::StoreCompleted { addr: Addr(1), val: 1, commit_seq: 10 },
+        });
+        t.push(Event {
+            seq: 2,
+            cpu: 0,
+            kind: EventKind::StoreCompleted { addr: Addr(2), val: 1, commit_seq: 5 },
+        });
+        assert!(check_fifo_completion(&t).is_err());
+    }
+
+    #[test]
+    fn load_value_checker_catches_fabricated_stale_read() {
+        use crate::trace::{EventKind, Trace};
+        let mut t = Trace::new();
+        t.push(Event {
+            seq: 1,
+            cpu: 0,
+            kind: EventKind::StoreCompleted { addr: Addr(1), val: 7, commit_seq: 0 },
+        });
+        t.push(Event {
+            seq: 2,
+            cpu: 1,
+            kind: EventKind::LoadCommitted { addr: Addr(1), val: 0, forwarded: false },
+        });
+        assert!(check_load_values(&t, &[]).is_err());
+    }
+
+    #[test]
+    fn guarded_checker_catches_fabricated_early_read() {
+        use crate::trace::{EventKind, Trace};
+        let mut t = Trace::new();
+        t.push(Event {
+            seq: 1,
+            cpu: 0,
+            kind: EventKind::StoreCommitted { addr: Addr(1), val: 1, guarded: true },
+        });
+        t.push(Event {
+            seq: 2,
+            cpu: 1,
+            kind: EventKind::LoadCommitted { addr: Addr(1), val: 0, forwarded: false },
+        });
+        assert!(check_guarded_visibility(&t).is_err());
+    }
+
+    #[test]
+    fn initial_pokes_respected_by_load_checker() {
+        use crate::trace::{EventKind, Trace};
+        let mut t = Trace::new();
+        t.push(Event {
+            seq: 1,
+            cpu: 0,
+            kind: EventKind::LoadCommitted { addr: Addr(4), val: 9, forwarded: false },
+        });
+        assert!(check_load_values(&t, &[(Addr(4), 9)]).is_ok());
+        assert!(check_load_values(&t, &[]).is_err());
+    }
+}

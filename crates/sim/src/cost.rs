@@ -1,0 +1,131 @@
+//! The cycle cost model.
+//!
+//! The paper's quantitative claims are stated in cycles on a 2 GHz AMD
+//! Opteron:
+//!
+//! * a serial Dekker entry with an `mfence` runs 4–7× slower than without
+//!   (Section 1);
+//! * a signal round trip (the software prototype's serialization path) costs
+//!   on the order of **10,000 cycles** (Section 5);
+//! * the LE/ST round trip — two cache controllers exchanging messages plus a
+//!   store-buffer flush, "akin to a L1 cache miss / L2 cache hit" — costs
+//!   about **150 cycles** (Section 5).
+//!
+//! The constants below are calibrated so that the simulated machine lands in
+//! those bands; they are deliberately round numbers. Experiments report the
+//! constants used (see `EXPERIMENTS.md`) so the shape claims can be read
+//! against the model rather than against the long-gone Opteron.
+
+/// Per-operation cycle costs charged by the simulated machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Register-to-register ALU operation or branch.
+    pub alu: u64,
+    /// Load served by the local cache (L1 hit) or by store-buffer forwarding.
+    pub l1_hit: u64,
+    /// Committing a store into the store buffer.
+    pub sb_commit: u64,
+    /// Completing one store-buffer entry whose line is already owned (M/E).
+    pub sb_drain_owned: u64,
+    /// Cache-to-cache transfer: a miss served by another processor's cache
+    /// (the paper's "L1 cache miss / L2 cache hit" analogue).
+    pub cache_to_cache: u64,
+    /// Miss served by main memory.
+    pub mem_fetch: u64,
+    /// Fixed pipeline-serialization cost of an `mfence`, charged even when
+    /// the store buffer is already empty.
+    pub mfence_base: u64,
+    /// Extra cost of the `LE` load-exclusive over a plain load when the line
+    /// is already cached exclusively (setting up the link).
+    pub le_extra: u64,
+    /// One software-prototype serialization round trip: signal delivery,
+    /// four kernel/user crossings, handler, ack spin (Section 5).
+    pub signal_roundtrip: u64,
+    /// The *extra* stall an LE/ST serialization adds on the requesting
+    /// processor beyond the cache-to-cache transfer it was already paying;
+    /// the observable round trip is `cache_to_cache + lest_roundtrip`
+    /// (≈150 cycles with the defaults, the paper's Section 5 estimate).
+    pub lest_roundtrip: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alu: 1,
+            l1_hit: 2,
+            sb_commit: 1,
+            sb_drain_owned: 8,
+            cache_to_cache: 100,
+            mem_fetch: 220,
+            mfence_base: 40,
+            le_extra: 1,
+            signal_roundtrip: 10_000,
+            lest_roundtrip: 50,
+        }
+    }
+}
+
+impl CostModel {
+    /// A free cost model: every operation costs zero. Used by the model
+    /// checker, where only the interleaving structure matters.
+    pub fn zero() -> Self {
+        CostModel {
+            alu: 0,
+            l1_hit: 0,
+            sb_commit: 0,
+            sb_drain_owned: 0,
+            cache_to_cache: 0,
+            mem_fetch: 0,
+            mfence_base: 0,
+            le_extra: 0,
+            signal_roundtrip: 0,
+            lest_roundtrip: 0,
+        }
+    }
+
+    /// Cost of draining one store-buffer entry given whether the line was
+    /// already owned, shared elsewhere, or absent.
+    pub fn drain_cost(&self, served_remotely: bool, owned: bool) -> u64 {
+        if owned {
+            self.sb_drain_owned
+        } else if served_remotely {
+            self.cache_to_cache
+        } else {
+            self.mem_fetch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_bands() {
+        let c = CostModel::default();
+        // The software prototype must be roughly two orders of magnitude
+        // more expensive than the proposed hardware mechanism.
+        let lest_total = c.cache_to_cache + c.lest_roundtrip;
+        assert!(c.signal_roundtrip / lest_total >= 50);
+        // The full LE/ST round trip is "akin to an L1 miss / L2 hit":
+        // the paper's ~150-cycle estimate.
+        assert!((100..=250).contains(&lest_total));
+        // mfence dominates a handful of L1 hits: this is what makes a serial
+        // Dekker entry with a fence several times slower than without.
+        assert!(c.mfence_base > 5 * c.l1_hit);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let c = CostModel::zero();
+        assert_eq!(c.alu + c.l1_hit + c.mfence_base + c.signal_roundtrip, 0);
+        assert_eq!(c.drain_cost(true, false), 0);
+    }
+
+    #[test]
+    fn drain_cost_prefers_owned() {
+        let c = CostModel::default();
+        assert!(c.drain_cost(false, true) < c.drain_cost(true, false));
+        assert!(c.drain_cost(true, false) < c.drain_cost(false, false));
+    }
+}

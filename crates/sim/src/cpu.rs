@@ -1,0 +1,141 @@
+//! Per-processor architectural state, including the two LE/ST registers.
+//!
+//! The LE/ST mechanism of Section 3 adds exactly two registers to each
+//! processor: `LEBit` and `LEAddr`. Both are readable and writable by the
+//! processor and readable by the cache controller. Everything else here is
+//! conventional: general-purpose registers, a program counter, a halted
+//! flag, a critical-section marker for the mutual-exclusion checker, and a
+//! cycle clock for the cost model.
+
+use crate::addr::Addr;
+use crate::isa::{Operand, Reg, NUM_REGS};
+use std::hash::{Hash, Hasher};
+
+/// Architectural state of one simulated CPU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpuState {
+    /// General-purpose registers.
+    pub regs: [u64; NUM_REGS],
+    /// Index of the next instruction to commit.
+    pub pc: usize,
+    /// Set once the CPU executed `Halt` (or ran past its program).
+    pub halted: bool,
+    /// `LEBit`: set by K1.1, cleared when the link breaks or the guarded
+    /// store completes.
+    pub le_bit: bool,
+    /// `LEAddr`: the guarded location, if any.
+    pub le_addr: Option<Addr>,
+    /// Whether the CPU is inside a critical section (pseudo-state for the
+    /// mutual-exclusion checker; no memory semantics).
+    pub in_cs: bool,
+    /// Accumulated cycles (excluded from semantic fingerprints).
+    pub clock: u64,
+}
+
+impl Default for CpuState {
+    fn default() -> Self {
+        CpuState {
+            regs: [0; NUM_REGS],
+            pc: 0,
+            halted: false,
+            le_bit: false,
+            le_addr: None,
+            in_cs: false,
+            clock: 0,
+        }
+    }
+}
+
+impl CpuState {
+    /// A reset CPU: zero registers, pc 0, link clear.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate an operand against this CPU's registers.
+    #[inline]
+    pub fn eval(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.regs[r as usize],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    /// Evaluate an operand as a memory address.
+    #[inline]
+    pub fn eval_addr(&self, op: Operand) -> Addr {
+        Addr(self.eval(op))
+    }
+
+    /// Write register `r`.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r as usize] = v;
+    }
+
+    /// Clear the LE/ST link registers.
+    pub fn clear_link_regs(&mut self) {
+        self.le_bit = false;
+        self.le_addr = None;
+    }
+
+    /// Whether the LE/ST registers claim a guard on `addr`. (Definition 3
+    /// additionally requires the cache line in M/E; the machine checks
+    /// that part.)
+    pub fn le_regs_guard(&self, addr: Addr) -> bool {
+        self.le_bit && self.le_addr == Some(addr)
+    }
+
+    /// Feed semantic state (not the clock) into a hasher.
+    pub fn hash_into<H: Hasher>(&self, h: &mut H) {
+        self.regs.hash(h);
+        self.pc.hash(h);
+        self.halted.hash(h);
+        self.le_bit.hash(h);
+        self.le_addr.hash(h);
+        self.in_cs.hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_registers_and_immediates() {
+        let mut c = CpuState::new();
+        c.set_reg(3, 42);
+        assert_eq!(c.eval(Operand::Reg(3)), 42);
+        assert_eq!(c.eval(Operand::Imm(7)), 7);
+        assert_eq!(c.eval_addr(Operand::Reg(3)), Addr(42));
+    }
+
+    #[test]
+    fn link_registers() {
+        let mut c = CpuState::new();
+        assert!(!c.le_regs_guard(Addr(1)));
+        c.le_bit = true;
+        c.le_addr = Some(Addr(1));
+        assert!(c.le_regs_guard(Addr(1)));
+        assert!(!c.le_regs_guard(Addr(2)));
+        c.clear_link_regs();
+        assert!(!c.le_bit);
+        assert_eq!(c.le_addr, None);
+    }
+
+    #[test]
+    fn fingerprint_ignores_clock() {
+        use std::collections::hash_map::DefaultHasher;
+        let fp = |c: &CpuState| {
+            let mut h = DefaultHasher::new();
+            c.hash_into(&mut h);
+            h.finish()
+        };
+        let mut a = CpuState::new();
+        let b = CpuState::new();
+        a.clock = 1_000_000;
+        assert_eq!(fp(&a), fp(&b));
+        a.pc = 1;
+        assert_ne!(fp(&a), fp(&b));
+    }
+}

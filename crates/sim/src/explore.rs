@@ -1,0 +1,367 @@
+//! Bounded exhaustive interleaving exploration (a small model checker),
+//! with counterexample extraction.
+//!
+//! The explorer enumerates every reachable interleaving of a machine's
+//! transitions ([`Transition::Step`], [`Transition::Drain`], and optionally
+//! [`Transition::Interrupt`]) with a visited-state set keyed on the
+//! machine's semantic [`fingerprint`](Machine::fingerprint). This is how the
+//! repository *verifies* the paper's theorems rather than asserting them:
+//!
+//! * Theorem 7 (mutual exclusion of the asymmetric Dekker protocol) becomes
+//!   "no reachable state has two CPUs in the critical section";
+//! * Theorem 4 / Definition 2 become litmus-test outcome sets: the
+//!   store-buffering outcome `r0 == 0 && r1 == 0` must be reachable without
+//!   fences, and unreachable with `mfence` or `l-mfence` pairs.
+//!
+//! When a mutual-exclusion violation is found, the explorer reconstructs
+//! the transition sequence that reaches it; [`replay`] re-executes that
+//! schedule with tracing enabled to produce a human-readable
+//! counterexample.
+//!
+//! Fingerprints are 64-bit hashes; a collision could in principle hide a
+//! state. The protocol state spaces explored here are in the thousands, so
+//! the collision probability is ~2⁻⁵⁰ — acceptable for a test oracle, and
+//! the random-walk runners provide an independent (hash-free) sample.
+
+use crate::cost::CostModel;
+use crate::isa::Program;
+use crate::machine::{Machine, MachineConfig, Transition};
+use std::collections::BTreeSet;
+use std::collections::HashSet;
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct Explorer {
+    /// Stop after visiting this many distinct states.
+    pub max_states: usize,
+    /// Ignore paths longer than this many transitions.
+    pub max_depth: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_states: 2_000_000,
+            max_depth: 100_000,
+        }
+    }
+}
+
+/// Result of an exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreResult<O: Ord> {
+    /// Outcomes extracted at every terminal state reached.
+    pub outcomes: BTreeSet<O>,
+    /// Number of transitions that produced a mutual-exclusion violation.
+    pub mutex_violations: usize,
+    /// The transition sequence reaching the *first* violation found, if
+    /// any — feed it to [`replay`] for a traced counterexample.
+    pub first_violation: Option<Vec<Transition>>,
+    /// Distinct states visited.
+    pub states_visited: usize,
+    /// Terminal states reached (pre-dedup by outcome).
+    pub terminals: usize,
+    /// True if a bound was hit and the exploration is incomplete.
+    pub truncated: bool,
+}
+
+impl<O: Ord> ExploreResult<O> {
+    /// Whether `outcome` was observed at some terminal state.
+    pub fn has_outcome(&self, outcome: &O) -> bool {
+        self.outcomes.contains(outcome)
+    }
+}
+
+/// Arena node for path reconstruction: which node we came from, and by
+/// which transition.
+#[derive(Clone, Copy)]
+struct PathNode {
+    parent: usize,
+    via: Transition,
+}
+
+const ROOT: usize = usize::MAX;
+
+impl Explorer {
+    /// An explorer with explicit state and depth bounds.
+    pub fn new(max_states: usize, max_depth: usize) -> Self {
+        Explorer { max_states, max_depth }
+    }
+
+    /// Exhaustively explore all interleavings of `initial`, extracting an
+    /// outcome at each terminal state.
+    ///
+    /// `initial` should be built with [`Machine::for_checking`] (zero cost
+    /// model, no trace recording) to keep states canonical.
+    pub fn explore<O, F>(&self, initial: Machine, mut extract: F) -> ExploreResult<O>
+    where
+        O: Ord,
+        F: FnMut(&Machine) -> O,
+    {
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut outcomes = BTreeSet::new();
+        let mut mutex_violations = 0usize;
+        let mut first_violation: Option<Vec<Transition>> = None;
+        let mut terminals = 0usize;
+        let mut truncated = false;
+        // Path arena: one node per *pushed* state (root excluded).
+        let mut arena: Vec<PathNode> = Vec::new();
+        // Depth-first over (machine, depth, arena index of this state).
+        let mut stack: Vec<(Machine, usize, usize)> = vec![(initial, 0, ROOT)];
+        while let Some((m, depth, node)) = stack.pop() {
+            if !visited.insert(m.fingerprint()) {
+                continue;
+            }
+            if visited.len() >= self.max_states {
+                truncated = true;
+                break;
+            }
+            if m.is_terminal() {
+                terminals += 1;
+                outcomes.insert(extract(&m));
+                continue;
+            }
+            if depth >= self.max_depth {
+                truncated = true;
+                continue;
+            }
+            for t in m.enabled_transitions() {
+                let mut next = m.clone();
+                let before = next.mutex_violations;
+                next.apply(t);
+                let child = arena.len();
+                arena.push(PathNode { parent: node, via: t });
+                if next.mutex_violations > before {
+                    mutex_violations += 1;
+                    if first_violation.is_none() {
+                        first_violation = Some(reconstruct_path(&arena, child));
+                    }
+                }
+                stack.push((next, depth + 1, child));
+            }
+        }
+        ExploreResult {
+            outcomes,
+            mutex_violations,
+            first_violation,
+            states_visited: visited.len(),
+            terminals,
+            truncated,
+        }
+    }
+
+    /// Explore and run `check` on the machine at every terminal state
+    /// (useful with trace recording enabled to validate per-trace
+    /// properties). Returns the first failure, if any, plus stats.
+    pub fn explore_checking<F>(
+        &self,
+        initial: Machine,
+        mut check: F,
+    ) -> (ExploreResult<u8>, Option<String>)
+    where
+        F: FnMut(&Machine) -> Result<(), String>,
+    {
+        let mut first_failure = None;
+        let result = self.explore(initial, |m| {
+            if first_failure.is_none() {
+                if let Err(e) = check(m) {
+                    first_failure = Some(e);
+                }
+            }
+            0u8
+        });
+        (result, first_failure)
+    }
+}
+
+impl Explorer {
+    /// Breadth-first search for the *shortest* schedule that produces a
+    /// mutual-exclusion violation. Returns `None` when the protocol is
+    /// correct (within bounds). More memory-hungry than [`explore`];
+    /// intended for counterexample presentation.
+    ///
+    /// [`explore`]: Explorer::explore
+    pub fn find_shortest_violation(&self, initial: Machine) -> Option<Vec<Transition>> {
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut arena: Vec<PathNode> = Vec::new();
+        let mut queue: std::collections::VecDeque<(Machine, usize)> =
+            std::collections::VecDeque::new();
+        visited.insert(initial.fingerprint());
+        queue.push_back((initial, ROOT));
+        while let Some((m, node)) = queue.pop_front() {
+            if visited.len() >= self.max_states {
+                return None;
+            }
+            for t in m.enabled_transitions() {
+                let mut next = m.clone();
+                let before = next.mutex_violations;
+                next.apply(t);
+                let child = arena.len();
+                arena.push(PathNode { parent: node, via: t });
+                if next.mutex_violations > before {
+                    return Some(reconstruct_path(&arena, child));
+                }
+                if visited.insert(next.fingerprint()) {
+                    queue.push_back((next, child));
+                }
+            }
+        }
+        None
+    }
+}
+
+fn reconstruct_path(arena: &[PathNode], mut node: usize) -> Vec<Transition> {
+    let mut path = Vec::new();
+    while node != ROOT {
+        let n = arena[node];
+        path.push(n.via);
+        node = n.parent;
+    }
+    path.reverse();
+    path
+}
+
+/// Re-execute a transition schedule (e.g. a counterexample from
+/// [`ExploreResult::first_violation`]) on a fresh machine with tracing
+/// enabled, returning the machine for inspection.
+pub fn replay(cfg: MachineConfig, progs: Vec<Program>, path: &[Transition]) -> Machine {
+    let cfg = MachineConfig {
+        record_trace: true,
+        ..cfg
+    };
+    let mut m = Machine::new(cfg, CostModel::zero(), progs);
+    for &t in path {
+        m.apply(t);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::isa::ProgramBuilder;
+    use crate::programs::{dekker_pair, DekkerOptions, FenceKind};
+    use crate::trace::EventKind;
+
+    /// The classic store-buffering (SB) shape: without fences, TSO allows
+    /// both CPUs to read 0.
+    fn sb_programs(with_fence: bool) -> Vec<crate::isa::Program> {
+        let build = |own: u64, other: u64| {
+            let mut b = ProgramBuilder::new("sb");
+            b.st(Addr(own), 1u64);
+            if with_fence {
+                b.mfence();
+            }
+            b.ld(0, Addr(other)).halt();
+            b.build()
+        };
+        vec![build(0, 1), build(1, 0)]
+    }
+
+    fn sb_outcome(m: &Machine) -> (u64, u64) {
+        (m.cpus[0].regs[0], m.cpus[1].regs[0])
+    }
+
+    #[test]
+    fn sb_without_fences_allows_0_0() {
+        let m = Machine::for_checking(sb_programs(false));
+        let r = Explorer::default().explore(m, sb_outcome);
+        assert!(!r.truncated);
+        assert!(r.has_outcome(&(0, 0)), "TSO must allow the relaxed outcome");
+        assert!(r.has_outcome(&(1, 1)) || r.has_outcome(&(0, 1)) || r.has_outcome(&(1, 0)));
+    }
+
+    #[test]
+    fn sb_with_mfences_forbids_0_0() {
+        let m = Machine::for_checking(sb_programs(true));
+        let r = Explorer::default().explore(m, sb_outcome);
+        assert!(!r.truncated);
+        assert!(
+            !r.has_outcome(&(0, 0)),
+            "mfence pair must forbid 0/0, outcomes: {:?}",
+            r.outcomes
+        );
+        // At least one of the other outcomes remains reachable.
+        assert!(!r.outcomes.is_empty());
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let r1 = Explorer::default().explore(Machine::for_checking(sb_programs(false)), sb_outcome);
+        let r2 = Explorer::default().explore(Machine::for_checking(sb_programs(false)), sb_outcome);
+        assert_eq!(r1.outcomes, r2.outcomes);
+        assert_eq!(r1.states_visited, r2.states_visited);
+    }
+
+    #[test]
+    fn truncation_reported_when_bounds_hit() {
+        let m = Machine::for_checking(sb_programs(false));
+        let r = Explorer::new(3, 100).explore(m, sb_outcome);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn counterexample_extracted_and_replays_to_violation() {
+        // The unfenced Dekker protocol violates mutual exclusion; the
+        // explorer must hand back a schedule that, replayed, shows both
+        // CPUs inside the critical section.
+        let opt = DekkerOptions {
+            iters: 1,
+            cs_mem_ops: false,
+            cs_work: 0,
+        };
+        let progs = dekker_pair([FenceKind::None, FenceKind::None], opt);
+        let m = Machine::for_checking(progs.clone());
+        let cfg = m.cfg;
+        let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[1], m.cpus[1].regs[1]));
+        assert!(r.mutex_violations > 0);
+        let path = r.first_violation.expect("counterexample path");
+        let replayed = replay(cfg, progs, &path);
+        assert!(replayed.mutex_violations > 0, "replay must reproduce the violation");
+        // The trace must actually show the violation event.
+        assert!(replayed
+            .trace
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::MutexViolation { .. })));
+    }
+
+    #[test]
+    fn shortest_counterexample_is_minimal() {
+        let opt = DekkerOptions {
+            iters: 1,
+            cs_mem_ops: false,
+            cs_work: 0,
+        };
+        let progs = dekker_pair([FenceKind::None, FenceKind::None], opt);
+        let m = Machine::for_checking(progs.clone());
+        let cfg = m.cfg;
+        let path = Explorer::default()
+            .find_shortest_violation(m)
+            .expect("violation exists");
+        // The canonical SB violation: each side commits its store (still
+        // buffered), reads 0, and enters — 7 transitions.
+        assert!(path.len() <= 8, "expected a minimal schedule, got {}", path.len());
+        let replayed = replay(cfg, progs.clone(), &path);
+        assert!(replayed.mutex_violations > 0);
+        // And the correct protocol has no violation at all.
+        let fenced = dekker_pair([FenceKind::Lmfence, FenceKind::Mfence], opt);
+        assert!(Explorer::default()
+            .find_shortest_violation(Machine::for_checking(fenced))
+            .is_none());
+    }
+
+    #[test]
+    fn no_counterexample_for_correct_protocol() {
+        let opt = DekkerOptions {
+            iters: 1,
+            cs_mem_ops: false,
+            cs_work: 0,
+        };
+        let progs = dekker_pair([FenceKind::Lmfence, FenceKind::Mfence], opt);
+        let r = Explorer::default()
+            .explore(Machine::for_checking(progs), |m| (m.cpus[0].regs[1], m.cpus[1].regs[1]));
+        assert_eq!(r.mutex_violations, 0);
+        assert!(r.first_violation.is_none());
+    }
+}

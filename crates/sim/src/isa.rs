@@ -1,0 +1,517 @@
+//! The simulated machine's instruction set and program builder.
+//!
+//! The ISA is the minimum needed to express the paper's protocols: loads,
+//! stores, `mfence`, the LE/ST building blocks of Figure 3(b) (`SetLeBit`,
+//! `SetLeAddr`, `Le`, `BranchLeBitSet`), a little ALU, branches, and two
+//! pseudo-instructions (`EnterCs`/`LeaveCs`) that let checkers observe
+//! critical sections without perturbing the memory semantics.
+//!
+//! [`ProgramBuilder::lmfence`] emits exactly the instruction translation the
+//! paper gives for `l-mfence(l, v)`:
+//!
+//! ```text
+//! K1.1  MOV LEBit  <- 1
+//! K1.2  MOV LEAddr <- &l
+//! K1.3  LE  &l
+//! K1.4  ST  [&l] <- v
+//! K1.5  BNQ LEBit, 0, DONE
+//! K1.6  MFENCE
+//! K1.7  DONE:
+//! ```
+
+use crate::addr::Addr;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a general-purpose register.
+pub type Reg = u8;
+
+/// Number of general-purpose registers per simulated CPU.
+pub const NUM_REGS: usize = 8;
+
+/// An instruction operand: a register or an immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// The value held in a register.
+    Reg(Reg),
+    /// An immediate constant.
+    Imm(u64),
+}
+
+impl Operand {
+    /// Immediate operand holding a word address.
+    pub fn addr(a: Addr) -> Operand {
+        Operand::Imm(a.0)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<Addr> for Operand {
+    fn from(a: Addr) -> Self {
+        Operand::Imm(a.0)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "r{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// One machine instruction. Branch targets are instruction indices
+/// (resolved from labels by [`ProgramBuilder::build`]).
+///
+/// Variant fields follow a fixed convention — `dst` destination register,
+/// `addr` memory operand, `val`/`src`/`a`/`b` value operands, `target`
+/// branch index — documented once here rather than per field.
+#[allow(missing_docs)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Inst {
+    /// `dst <- mem[addr]` — committed in order; may be served by
+    /// store-buffer forwarding.
+    Ld { dst: Reg, addr: Operand },
+    /// `mem[addr] <- val` — *commits* into the store buffer; *completes*
+    /// later when the entry drains to the cache.
+    St { addr: Operand, val: Operand },
+    /// Load-exclusive: acquire the line in Exclusive state (no destination;
+    /// the paper's `LE` is only about cache state).
+    Le { addr: Operand },
+    /// Program-based memory fence: stall until the store buffer drains.
+    Mfence,
+    /// `LEBit <- imm` (K1.1).
+    SetLeBit(u64),
+    /// `LEAddr <- addr` (K1.2). If a previous link (to a *different*
+    /// location) is still in effect, the processor first flushes its store
+    /// buffer, as Section 3 requires for back-to-back `l-mfence`s.
+    SetLeAddr(Operand),
+    /// `BNQ LEBit, 0, target` (K1.5): skip the mfence when the link held.
+    BranchLeBitSet { target: usize },
+    /// `dst <- src`.
+    Mov { dst: Reg, src: Operand },
+    /// `dst <- a + b` (wrapping).
+    Add { dst: Reg, a: Operand, b: Operand },
+    /// `dst <- a - b` (wrapping).
+    Sub { dst: Reg, a: Operand, b: Operand },
+    /// Branch if `a == b`.
+    BranchEq { a: Operand, b: Operand, target: usize },
+    /// Branch if `a != b`.
+    BranchNe { a: Operand, b: Operand, target: usize },
+    /// Branch if `a < b`.
+    BranchLt { a: Operand, b: Operand, target: usize },
+    /// Unconditional jump.
+    Jmp { target: usize },
+    /// Pseudo-instruction: the CPU enters its critical section. The machine
+    /// records a mutual-exclusion violation if another CPU is already in.
+    EnterCs,
+    /// Pseudo-instruction: the CPU leaves its critical section.
+    LeaveCs,
+    /// Consume `cycles` of local compute without touching memory. Models
+    /// critical-section work for the cost experiments.
+    Work(u64),
+    /// Stop this CPU. (Its store buffer still drains afterwards.)
+    Halt,
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Ld { dst, addr } => write!(f, "ld   r{dst} <- [{addr}]"),
+            Inst::St { addr, val } => write!(f, "st   [{addr}] <- {val}"),
+            Inst::Le { addr } => write!(f, "le   [{addr}]"),
+            Inst::Mfence => write!(f, "mfence"),
+            Inst::SetLeBit(v) => write!(f, "mov  LEBit <- {v}"),
+            Inst::SetLeAddr(a) => write!(f, "mov  LEAddr <- {a}"),
+            Inst::BranchLeBitSet { target } => write!(f, "bnq  LEBit, 0, @{target}"),
+            Inst::Mov { dst, src } => write!(f, "mov  r{dst} <- {src}"),
+            Inst::Add { dst, a, b } => write!(f, "add  r{dst} <- {a} + {b}"),
+            Inst::Sub { dst, a, b } => write!(f, "sub  r{dst} <- {a} - {b}"),
+            Inst::BranchEq { a, b, target } => write!(f, "beq  {a}, {b}, @{target}"),
+            Inst::BranchNe { a, b, target } => write!(f, "bne  {a}, {b}, @{target}"),
+            Inst::BranchLt { a, b, target } => write!(f, "blt  {a}, {b}, @{target}"),
+            Inst::Jmp { target } => write!(f, "jmp  @{target}"),
+            Inst::EnterCs => write!(f, "enter-cs"),
+            Inst::LeaveCs => write!(f, "leave-cs"),
+            Inst::Work(c) => write!(f, "work {c}"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// A finished program: a named, immutable instruction sequence.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Display name used in traces and disassembly.
+    pub name: String,
+    /// The instruction sequence (shared so clones are cheap).
+    pub insts: Arc<Vec<Inst>>,
+}
+
+impl Program {
+    /// An empty program (the CPU halts immediately).
+    pub fn empty(name: &str) -> Program {
+        Program {
+            name: name.to_string(),
+            insts: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Assembly-style listing with instruction indices (branch targets are
+    /// `@index`).
+    pub fn disassemble(&self) -> String {
+        let mut out = format!("; {}\n", self.name);
+        for (i, inst) in self.insts.iter().enumerate() {
+            out.push_str(&format!("{i:>4}: {inst}\n"));
+        }
+        out
+    }
+}
+
+/// A forward-referencable label used while building a program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Label(usize);
+
+/// Builder that assembles a [`Program`], resolving labels to instruction
+/// indices. All emit methods return `&mut Self` for chaining.
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    /// Label id -> bound position.
+    labels: Vec<Option<usize>>,
+    /// (instruction index, label id) pairs to patch at build time.
+    fixups: Vec<(usize, usize)>,
+}
+
+impl ProgramBuilder {
+    /// Start building a program called `name`.
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_string(),
+            insts: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Declare a label to be bound later with [`bind`](Self::bind).
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice in program `{}`",
+            self.name
+        );
+        self.labels[label.0] = Some(self.insts.len());
+        self
+    }
+
+    /// Declare a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn emit_branch(&mut self, inst: Inst, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label.0));
+        self.insts.push(inst);
+        self
+    }
+
+    /// Emit a load: `dst <- mem[addr]`.
+    pub fn ld(&mut self, dst: Reg, addr: impl Into<Operand>) -> &mut Self {
+        self.emit(Inst::Ld {
+            dst,
+            addr: addr.into(),
+        })
+    }
+
+    /// Emit a store: `mem[addr] <- val`.
+    pub fn st(&mut self, addr: impl Into<Operand>, val: impl Into<Operand>) -> &mut Self {
+        self.emit(Inst::St {
+            addr: addr.into(),
+            val: val.into(),
+        })
+    }
+
+    /// Emit a load-exclusive of `addr` (K1.3).
+    pub fn le(&mut self, addr: impl Into<Operand>) -> &mut Self {
+        self.emit(Inst::Le { addr: addr.into() })
+    }
+
+    /// Emit a program-based memory fence.
+    pub fn mfence(&mut self) -> &mut Self {
+        self.emit(Inst::Mfence)
+    }
+
+    /// Emit `LEBit <- v` (K1.1).
+    pub fn set_le_bit(&mut self, v: u64) -> &mut Self {
+        self.emit(Inst::SetLeBit(v))
+    }
+
+    /// Emit `LEAddr <- addr` (K1.2).
+    pub fn set_le_addr(&mut self, addr: impl Into<Operand>) -> &mut Self {
+        self.emit(Inst::SetLeAddr(addr.into()))
+    }
+
+    /// Emit the link-alive branch (K1.5): jump to `label` if LEBit != 0.
+    pub fn branch_le_bit_set(&mut self, label: Label) -> &mut Self {
+        self.emit_branch(Inst::BranchLeBitSet { target: usize::MAX }, label)
+    }
+
+    /// Emit `dst <- src`.
+    pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.emit(Inst::Mov {
+            dst,
+            src: src.into(),
+        })
+    }
+
+    /// Emit `dst <- a + b` (wrapping).
+    pub fn add(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit(Inst::Add {
+            dst,
+            a: a.into(),
+            b: b.into(),
+        })
+    }
+
+    /// Emit `dst <- a - b` (wrapping).
+    pub fn sub(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit(Inst::Sub {
+            dst,
+            a: a.into(),
+            b: b.into(),
+        })
+    }
+
+    /// Emit a branch to `label` when `a == b`.
+    pub fn branch_eq(
+        &mut self,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        label: Label,
+    ) -> &mut Self {
+        self.emit_branch(
+            Inst::BranchEq {
+                a: a.into(),
+                b: b.into(),
+                target: usize::MAX,
+            },
+            label,
+        )
+    }
+
+    /// Emit a branch to `label` when `a != b`.
+    pub fn branch_ne(
+        &mut self,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        label: Label,
+    ) -> &mut Self {
+        self.emit_branch(
+            Inst::BranchNe {
+                a: a.into(),
+                b: b.into(),
+                target: usize::MAX,
+            },
+            label,
+        )
+    }
+
+    /// Emit a branch to `label` when `a < b`.
+    pub fn branch_lt(
+        &mut self,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        label: Label,
+    ) -> &mut Self {
+        self.emit_branch(
+            Inst::BranchLt {
+                a: a.into(),
+                b: b.into(),
+                target: usize::MAX,
+            },
+            label,
+        )
+    }
+
+    /// Emit an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.emit_branch(Inst::Jmp { target: usize::MAX }, label)
+    }
+
+    /// Emit the enter-critical-section pseudo-instruction.
+    pub fn enter_cs(&mut self) -> &mut Self {
+        self.emit(Inst::EnterCs)
+    }
+
+    /// Emit the leave-critical-section pseudo-instruction.
+    pub fn leave_cs(&mut self) -> &mut Self {
+        self.emit(Inst::LeaveCs)
+    }
+
+    /// Emit `cycles` of local (memory-free) work.
+    pub fn work(&mut self, cycles: u64) -> &mut Self {
+        self.emit(Inst::Work(cycles))
+    }
+
+    /// Emit a halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Inst::Halt)
+    }
+
+    /// Emit the Figure 3(b) translation of `l-mfence(addr, val)`.
+    pub fn lmfence(&mut self, addr: impl Into<Operand>, val: impl Into<Operand>) -> &mut Self {
+        let addr = addr.into();
+        let done = self.label();
+        self.set_le_bit(1); // K1.1
+        self.set_le_addr(addr); // K1.2
+        self.le(addr); // K1.3
+        self.st(addr, val); // K1.4
+        self.branch_le_bit_set(done); // K1.5
+        self.mfence(); // K1.6
+        self.bind(done); // K1.7
+        self
+    }
+
+    /// Resolve labels and produce the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn build(mut self) -> Program {
+        for (idx, label_id) in std::mem::take(&mut self.fixups) {
+            let pos = self.labels[label_id]
+                .unwrap_or_else(|| panic!("unbound label {label_id} in program `{}`", self.name));
+            match &mut self.insts[idx] {
+                Inst::BranchLeBitSet { target }
+                | Inst::BranchEq { target, .. }
+                | Inst::BranchNe { target, .. }
+                | Inst::BranchLt { target, .. }
+                | Inst::Jmp { target } => *target = pos,
+                other => unreachable!("fixup on non-branch instruction {other:?}"),
+            }
+        }
+        Program {
+            name: self.name,
+            insts: Arc::new(self.insts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_resolves_forward_labels() {
+        let mut b = ProgramBuilder::new("t");
+        let end = b.label();
+        b.ld(0, Addr(0));
+        b.branch_eq(Operand::Reg(0), 0u64, end);
+        b.st(Addr(1), 7u64);
+        b.bind(end);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.len(), 4);
+        match p.insts[1] {
+            Inst::BranchEq { target, .. } => assert_eq!(target, 3),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_resolves_backward_labels() {
+        let mut b = ProgramBuilder::new("t");
+        let top = b.here();
+        b.add(0, Operand::Reg(0), 1u64);
+        b.branch_lt(Operand::Reg(0), 3u64, top);
+        b.halt();
+        let p = b.build();
+        match p.insts[1] {
+            Inst::BranchLt { target, .. } => assert_eq!(target, 0),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lmfence_expands_to_figure_3b() {
+        let mut b = ProgramBuilder::new("t");
+        b.lmfence(Addr(5), 1u64);
+        let p = b.build();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.insts[0], Inst::SetLeBit(1));
+        assert_eq!(p.insts[1], Inst::SetLeAddr(Operand::Imm(5)));
+        assert_eq!(p.insts[2], Inst::Le { addr: Operand::Imm(5) });
+        assert_eq!(
+            p.insts[3],
+            Inst::St {
+                addr: Operand::Imm(5),
+                val: Operand::Imm(1)
+            }
+        );
+        // The branch skips the mfence, landing one past the end.
+        assert_eq!(p.insts[4], Inst::BranchLeBitSet { target: 6 });
+        assert_eq!(p.insts[5], Inst::Mfence);
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let mut b = ProgramBuilder::new("demo");
+        b.lmfence(Addr(5), 1u64).ld(0, Addr(6)).halt();
+        let p = b.build();
+        let text = p.disassemble();
+        assert!(text.starts_with("; demo"));
+        assert!(text.contains("mov  LEBit <- 1"));
+        assert!(text.contains("le   [#5]"));
+        assert!(text.contains("bnq  LEBit, 0, @6"));
+        assert!(text.contains("mfence"));
+        assert!(text.contains("halt"));
+        assert_eq!(text.lines().count(), p.len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.jmp(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.here();
+        b.bind(l);
+    }
+}

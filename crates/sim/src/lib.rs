@@ -1,0 +1,76 @@
+//! # lbmf-sim — a cycle-level TSO machine with the LE/ST mechanism
+//!
+//! This crate is the hardware substrate for the reproduction of
+//! *Location-Based Memory Fences* (Ladan-Mozes, Lee, Vyukov; SPAA 2011).
+//! The paper proposes a hardware mechanism — a new `LE` (load-exclusive)
+//! instruction plus two per-processor registers `LEBit`/`LEAddr`, hooked
+//! into the MESI cache controller — and evaluates it analytically. Since the
+//! hardware was never built, this crate *builds it in simulation*:
+//!
+//! * [`machine::Machine`] models processors with FIFO **store buffers**
+//!   (with store-to-load forwarding), private **MESI caches** with LRU
+//!   eviction, a snooping bus, strictly in-order commit, and the complete
+//!   LE/ST mechanism of Section 3 — including the link-break paths for
+//!   remote downgrades, evictions, interrupts, natural store completion,
+//!   and back-to-back `l-mfence`s.
+//! * [`isa`] is a small assembly language; `ProgramBuilder::lmfence` emits
+//!   exactly the Figure 3(b) instruction translation.
+//! * [`explore::Explorer`] enumerates every interleaving of a protocol
+//!   program, turning the paper's Theorems 4 and 7 into checkable facts.
+//! * [`check`] validates executions against Definition 1 (serialization
+//!   order), the Section 2 TSO ordering principles, and Lemma 3.
+//! * [`cost::CostModel`] carries the cycle calibration used by the
+//!   experiment harnesses (mfence stalls, ~150-cycle LE/ST round trips,
+//!   ~10,000-cycle signal round trips).
+//!
+//! ## Quick example: model-check the Dekker duality
+//!
+//! ```
+//! use lbmf_sim::prelude::*;
+//!
+//! // Store-buffering litmus with no fences: TSO allows both loads to miss
+//! // the other side's store.
+//! let m = Machine::for_checking(litmus_sb([FenceKind::None, FenceKind::None]));
+//! let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[0], m.cpus[1].regs[0]));
+//! assert!(r.has_outcome(&(0, 0)));
+//!
+//! // With the paper's l-mfence on both sides the relaxed outcome vanishes.
+//! let m = Machine::for_checking(litmus_sb([FenceKind::Lmfence, FenceKind::Lmfence]));
+//! let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[0], m.cpus[1].regs[0]));
+//! assert!(!r.has_outcome(&(0, 0)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod bus;
+pub mod cache;
+pub mod check;
+pub mod cost;
+pub mod cpu;
+pub mod explore;
+pub mod isa;
+pub mod machine;
+pub mod mesi;
+pub mod programs;
+pub mod store_buffer;
+pub mod trace;
+
+/// Everything a protocol experiment typically needs.
+pub mod prelude {
+    pub use crate::addr::{Addr, Geometry, LineId};
+    pub use crate::check::{
+        check_all, check_fifo_completion, check_guarded_visibility, check_load_values,
+        check_no_mutex_violation,
+    };
+    pub use crate::cost::CostModel;
+    pub use crate::explore::{replay, ExploreResult, Explorer};
+    pub use crate::isa::{Inst, Operand, Program, ProgramBuilder};
+    pub use crate::machine::{Machine, MachineConfig, Transition};
+    pub use crate::mesi::{Coherence, Mesi};
+    pub use crate::programs::{
+        dekker_asymmetric, dekker_pair, dekker_pair_with_turn, dekker_serial, litmus_2_2w, litmus_guarded_read,
+        litmus_iriw, litmus_lb, litmus_mp, litmus_r, litmus_s, litmus_sb, DekkerOptions, FenceKind, CS, DATA, L1, L2, TURN,
+    };
+    pub use crate::trace::{Event, EventKind, LinkClearReason, Trace};
+}

@@ -1,0 +1,203 @@
+//! Cache-coherence states and protocol variants.
+//!
+//! The paper assumes the target architecture employs MESI (Section 2) but
+//! notes "the mechanism can be adapted to other variants such as MSI and
+//! MOESI". All three are implemented; [`Coherence`] selects the variant
+//! per machine. The LE/ST link condition (Definition 3: the guarded line
+//! held *exclusively*) maps to {M, E} under MESI/MOESI and {M} under MSI —
+//! the Owned state is shared-dirty, never exclusive.
+//!
+//! A line absent from a cache is implicitly Invalid; the explicit `I`
+//! variant never appears in a cache map (lines are removed instead), but is
+//! useful as a transition result and in assertions.
+
+use std::fmt;
+
+/// Which coherence protocol the simulated machine runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Coherence {
+    /// No Exclusive state: a read miss always installs Shared; gaining
+    /// write permission always costs a bus transaction.
+    Msi,
+    /// The paper's assumed protocol.
+    #[default]
+    Mesi,
+    /// Adds Owned: a Modified line downgraded by a remote *read* becomes
+    /// O (shared-dirty, owner supplies data) instead of writing back.
+    Moesi,
+}
+
+impl Coherence {
+    /// Human-readable protocol name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Coherence::Msi => "MSI",
+            Coherence::Mesi => "MESI",
+            Coherence::Moesi => "MOESI",
+        }
+    }
+
+    /// State installed by a read miss when no other cache holds the line.
+    #[inline]
+    pub fn read_miss_alone(self) -> Mesi {
+        match self {
+            Coherence::Msi => Mesi::S,
+            Coherence::Mesi | Coherence::Moesi => Mesi::E,
+        }
+    }
+
+    /// State acquired by `LE` / a store gaining ownership.
+    ///
+    /// MSI has no E, so exclusivity means M (the line is considered dirty
+    /// from then on — a conservative but standard simplification).
+    #[inline]
+    pub fn exclusive_state(self) -> Mesi {
+        match self {
+            Coherence::Msi => Mesi::M,
+            Coherence::Mesi | Coherence::Moesi => Mesi::E,
+        }
+    }
+
+    /// Result of a remote *read* hitting a locally Modified line:
+    /// `(new local state, must write back to memory now)`.
+    #[inline]
+    pub fn modified_on_remote_read(self) -> (Mesi, bool) {
+        match self {
+            Coherence::Moesi => (Mesi::O, false),
+            Coherence::Msi | Coherence::Mesi => (Mesi::S, true),
+        }
+    }
+}
+
+/// Coherence state of a cache line in one processor's private cache
+/// (the MOESI superset; `O` is unreachable under MSI/MESI).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Mesi {
+    /// Modified: the only valid copy, dirty.
+    M,
+    /// Owned (MOESI): dirty but shared; this cache supplies the data and
+    /// is responsible for the eventual writeback. Memory may be stale.
+    O,
+    /// Exclusive: the only valid copy, clean.
+    E,
+    /// Shared: other caches may also hold the line.
+    S,
+    /// Invalid: the copy is stale (represented by absence in practice).
+    I,
+}
+
+impl Mesi {
+    /// Whether the processor may read the line in this state.
+    #[inline]
+    pub fn readable(self) -> bool {
+        matches!(self, Mesi::M | Mesi::O | Mesi::E | Mesi::S)
+    }
+
+    /// Whether the processor may write the line without a bus transaction.
+    ///
+    /// Writing in `E` silently upgrades to `M`; writing in `O` or `S`
+    /// requires invalidating the other sharers first.
+    #[inline]
+    pub fn writable_silently(self) -> bool {
+        matches!(self, Mesi::M | Mesi::E)
+    }
+
+    /// Whether this state grants exclusive ownership — the condition under
+    /// which an `l-mfence` link may be *set* (Definition 3 in the paper).
+    /// Owned is shared-dirty, not exclusive.
+    #[inline]
+    pub fn exclusive(self) -> bool {
+        matches!(self, Mesi::M | Mesi::E)
+    }
+
+    /// Whether the copy holds data that memory does not (writeback needed
+    /// on invalidation or eviction).
+    #[inline]
+    pub fn dirty(self) -> bool {
+        matches!(self, Mesi::M | Mesi::O)
+    }
+}
+
+impl fmt::Display for Mesi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Mesi::M => 'M',
+            Mesi::O => 'O',
+            Mesi::E => 'E',
+            Mesi::S => 'S',
+            Mesi::I => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readability() {
+        assert!(Mesi::M.readable());
+        assert!(Mesi::E.readable());
+        assert!(Mesi::S.readable());
+        assert!(!Mesi::I.readable());
+    }
+
+    #[test]
+    fn silent_writes_only_in_m_and_e() {
+        assert!(Mesi::M.writable_silently());
+        assert!(Mesi::E.writable_silently());
+        assert!(!Mesi::S.writable_silently());
+        assert!(!Mesi::I.writable_silently());
+    }
+
+    #[test]
+    fn protocol_read_miss_states() {
+        assert_eq!(Coherence::Msi.read_miss_alone(), Mesi::S);
+        assert_eq!(Coherence::Mesi.read_miss_alone(), Mesi::E);
+        assert_eq!(Coherence::Moesi.read_miss_alone(), Mesi::E);
+    }
+
+    #[test]
+    fn protocol_exclusive_states() {
+        assert_eq!(Coherence::Msi.exclusive_state(), Mesi::M);
+        assert_eq!(Coherence::Mesi.exclusive_state(), Mesi::E);
+        assert_eq!(Coherence::Moesi.exclusive_state(), Mesi::E);
+    }
+
+    #[test]
+    fn moesi_keeps_dirty_data_as_owned() {
+        assert_eq!(Coherence::Moesi.modified_on_remote_read(), (Mesi::O, false));
+        assert_eq!(Coherence::Mesi.modified_on_remote_read(), (Mesi::S, true));
+        assert_eq!(Coherence::Msi.modified_on_remote_read(), (Mesi::S, true));
+    }
+
+    #[test]
+    fn owned_is_shared_dirty() {
+        assert!(Mesi::O.readable());
+        assert!(!Mesi::O.writable_silently());
+        assert!(!Mesi::O.exclusive());
+        assert!(Mesi::O.dirty());
+        assert!(Mesi::M.dirty());
+        assert!(!Mesi::E.dirty());
+        assert!(!Mesi::S.dirty());
+    }
+
+    #[test]
+    fn link_condition_matches_definition_3() {
+        // Definition 3: a link requires the guarded line held exclusively.
+        assert!(Mesi::M.exclusive());
+        assert!(Mesi::E.exclusive());
+        assert!(!Mesi::O.exclusive());
+        assert!(!Mesi::S.exclusive());
+        assert!(!Mesi::I.exclusive());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Coherence::Msi.label(), "MSI");
+        assert_eq!(Coherence::Mesi.label(), "MESI");
+        assert_eq!(Coherence::Moesi.label(), "MOESI");
+        assert_eq!(format!("{}", Mesi::O), "O");
+    }
+}

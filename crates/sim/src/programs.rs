@@ -1,0 +1,415 @@
+//! Canned protocol programs: litmus tests and the Dekker variants the paper
+//! analyses.
+//!
+//! Address map (one word per line under the default geometry):
+//!
+//! | addr | meaning |
+//! |------|---------|
+//! | 0    | `L1` — the primary thread's flag (paper Figure 1/3) |
+//! | 1    | `L2` — the secondary thread's flag |
+//! | 2    | `CS` — a word touched inside the critical section |
+//! | 3    | `DATA` — payload for the message-passing litmus |
+
+use crate::addr::Addr;
+use crate::isa::{Operand, Program, ProgramBuilder};
+
+/// `L1`: the primary/first thread's intent flag.
+pub const L1: Addr = Addr(0);
+/// `L2`: the secondary/second thread's intent flag.
+pub const L2: Addr = Addr(1);
+/// A word accessed inside the critical section.
+pub const CS: Addr = Addr(2);
+/// Payload word for the message-passing litmus.
+pub const DATA: Addr = Addr(3);
+
+/// How a thread orders its flag-store against its subsequent flag-load.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FenceKind {
+    /// No fence at all: the Figure-1 protocol, incorrect under TSO.
+    None,
+    /// Program-based fence: `ST; MFENCE` (the classic correct Dekker).
+    Mfence,
+    /// Location-based fence: `l-mfence(flag, v)` per Figure 3.
+    Lmfence,
+}
+
+impl FenceKind {
+    /// Human-readable label used by harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FenceKind::None => "none",
+            FenceKind::Mfence => "mfence",
+            FenceKind::Lmfence => "l-mfence",
+        }
+    }
+}
+
+/// Emit "store `val` to `addr`, fenced per `kind`".
+fn fenced_store(b: &mut ProgramBuilder, kind: FenceKind, addr: Addr, val: u64) {
+    match kind {
+        FenceKind::None => {
+            b.st(addr, val);
+        }
+        FenceKind::Mfence => {
+            b.st(addr, val);
+            b.mfence();
+        }
+        FenceKind::Lmfence => {
+            b.lmfence(addr, val);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Litmus tests
+// ---------------------------------------------------------------------
+
+/// Store-buffering (SB) litmus — the Dekker core. CPU `i` stores 1 to its
+/// own flag (fenced per `kinds[i]`) then loads the other flag into `r0`.
+/// Under TSO the outcome `(0, 0)` is reachable iff neither side fences.
+pub fn litmus_sb(kinds: [FenceKind; 2]) -> Vec<Program> {
+    let side = |name: &str, kind: FenceKind, own: Addr, other: Addr| {
+        let mut b = ProgramBuilder::new(name);
+        fenced_store(&mut b, kind, own, 1);
+        b.ld(0, other).halt();
+        b.build()
+    };
+    vec![
+        side("sb.p0", kinds[0], L1, L2),
+        side("sb.p1", kinds[1], L2, L1),
+    ]
+}
+
+/// Message-passing (MP) litmus. CPU 0 writes DATA then a flag; CPU 1 reads
+/// the flag then DATA. TSO forbids `(flag=1, data=0)` with no fences at
+/// all — this validates ordering principles 1 and 3 of Section 2.
+pub fn litmus_mp() -> Vec<Program> {
+    let mut w = ProgramBuilder::new("mp.writer");
+    w.st(DATA, 1u64).st(L1, 1u64).halt();
+    let mut r = ProgramBuilder::new("mp.reader");
+    r.ld(0, L1).ld(1, DATA).halt();
+    vec![w.build(), r.build()]
+}
+
+/// Load-buffering (LB) litmus. TSO forbids `(1, 1)` because loads commit in
+/// order ahead of program-later stores (principle 2).
+pub fn litmus_lb() -> Vec<Program> {
+    let side = |name: &str, first: Addr, second: Addr| {
+        let mut b = ProgramBuilder::new(name);
+        b.ld(0, first).st(second, 1u64).halt();
+        b.build()
+    };
+    vec![side("lb.p0", L1, L2), side("lb.p1", L2, L1)]
+}
+
+/// 2+2W litmus: both CPUs write both locations in opposite orders. Under
+/// TSO the final memory cannot show `L1 == 1 && L2 == 1` (each CPU's second
+/// write would have to be overwritten by the other's *first* write,
+/// contradicting FIFO completion on both).
+pub fn litmus_2_2w() -> Vec<Program> {
+    let mut p0 = ProgramBuilder::new("2+2w.p0");
+    p0.st(L1, 1u64).st(L2, 2u64).halt();
+    let mut p1 = ProgramBuilder::new("2+2w.p1");
+    p1.st(L2, 1u64).st(L1, 2u64).halt();
+    vec![p0.build(), p1.build()]
+}
+
+/// The "R" litmus: P0 stores `L1 = 1; L2 = 2`; P1 stores `L2 = 1`,
+/// optionally fences, then reads `L1`.
+///
+/// The interesting outcome is `(r0 = 0, final L2 = 1)`: P1's `L2` store
+/// wins the coherence race (so P0's `L2 = 2` completed *before* it, and by
+/// FIFO buffers P0's `L1 = 1` completed even earlier), yet P1 reads
+/// `L1 = 0`. Without a fence TSO **allows** this — P1's read may commit
+/// while its own `L2` store is still buffered, i.e. before everything
+/// above happened. With an `mfence` on P1 the outcome is **forbidden**.
+pub fn litmus_r(p1_fenced: bool) -> Vec<Program> {
+    let mut p0 = ProgramBuilder::new("r.p0");
+    p0.st(L1, 1u64).st(L2, 2u64).halt();
+    let mut p1 = ProgramBuilder::new("r.p1");
+    p1.st(L2, 1u64);
+    if p1_fenced {
+        p1.mfence();
+    }
+    p1.ld(0, L1).halt();
+    vec![p0.build(), p1.build()]
+}
+
+/// The "S" litmus: P0 stores `L1 = 2; L2 = 1`; P1 reads `L2`, then stores
+/// `L1 = 1`.
+///
+/// Forbidden under TSO with no fences at all: `(r0 = 1, final L1 = 2)`.
+/// If P1 read `L2 = 1`, P0's `L1 = 2` had already completed (FIFO); P1's
+/// own `L1 = 1` store commits *after* that read and therefore completes
+/// after `L1 = 2`, so the final value of `L1` must be 1 — in-order commit
+/// plus FIFO completion leave no way for P0's store to land last.
+pub fn litmus_s() -> Vec<Program> {
+    let mut p0 = ProgramBuilder::new("s.p0");
+    p0.st(L1, 2u64).st(L2, 1u64).halt();
+    let mut p1 = ProgramBuilder::new("s.p1");
+    p1.ld(0, L2).st(L1, 1u64).halt();
+    vec![p0.build(), p1.build()]
+}
+
+/// IRIW (independent reads of independent writes): two writers store to
+/// different locations; two readers read both in opposite orders. TSO
+/// forbids the readers from disagreeing on the order of the writes —
+/// footnote 4 of the paper: "the other processors in the system will
+/// observe a consistent ordering of the two writes". The forbidden
+/// outcome is `r0=1,r1=0` on CPU 2 together with `r0=1,r1=0` on CPU 3.
+pub fn litmus_iriw(readers_fenced: bool) -> Vec<Program> {
+    let mut w0 = ProgramBuilder::new("iriw.w0");
+    w0.st(L1, 1u64).halt();
+    let mut w1 = ProgramBuilder::new("iriw.w1");
+    w1.st(L2, 1u64).halt();
+    let reader = |name: &str, first: Addr, second: Addr| {
+        let mut b = ProgramBuilder::new(name);
+        b.ld(0, first);
+        if readers_fenced {
+            b.mfence();
+        }
+        b.ld(1, second).halt();
+        b.build()
+    };
+    vec![
+        w0.build(),
+        w1.build(),
+        reader("iriw.r0", L1, L2),
+        reader("iriw.r1", L2, L1),
+    ]
+}
+
+/// The guarded-load litmus from Lemma 3: CPU 0 runs `l-mfence(L1, 1)`; CPU 1
+/// just reads `L1`. If CPU 1's read is triggered after the guarded store
+/// commits, the link break must make it observe 1.
+pub fn litmus_guarded_read() -> Vec<Program> {
+    let mut p0 = ProgramBuilder::new("guard.primary");
+    p0.lmfence(L1, 1u64).halt();
+    let mut p1 = ProgramBuilder::new("guard.secondary");
+    p1.ld(0, L1).halt();
+    vec![p0.build(), p1.build()]
+}
+
+// ---------------------------------------------------------------------
+// Dekker protocols
+// ---------------------------------------------------------------------
+
+/// Options for the two-thread Dekker programs.
+#[derive(Clone, Copy, Debug)]
+pub struct DekkerOptions {
+    /// Iterations each thread must complete.
+    pub iters: u64,
+    /// Emit a store+load to [`CS`] inside the critical section (stresses
+    /// coherence during the race window).
+    pub cs_mem_ops: bool,
+    /// Extra local work cycles inside the critical section (cost runs).
+    pub cs_work: u64,
+}
+
+impl Default for DekkerOptions {
+    fn default() -> Self {
+        DekkerOptions {
+            iters: 1,
+            cs_mem_ops: true,
+            cs_work: 0,
+        }
+    }
+}
+
+/// One side of the simplified Dekker protocol of Figure 1 (with the
+/// Figure 3 fence variants): set own flag, fence per `kind`, test the other
+/// flag; on conflict retreat (clear own flag) and retry.
+fn dekker_side(
+    name: &str,
+    kind: FenceKind,
+    own: Addr,
+    other: Addr,
+    cpu_id: u64,
+    opt: DekkerOptions,
+) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    // r1 = completed iterations.
+    let top = b.here();
+    fenced_store(&mut b, kind, own, 1);
+    let retreat = b.label();
+    b.ld(0, other);
+    b.branch_ne(Operand::Reg(0), 0u64, retreat);
+    b.enter_cs();
+    if opt.cs_mem_ops {
+        b.st(CS, cpu_id + 1);
+        b.ld(2, CS);
+    }
+    if opt.cs_work > 0 {
+        b.work(opt.cs_work);
+    }
+    b.leave_cs();
+    b.st(own, 0u64);
+    b.add(1, Operand::Reg(1), 1u64);
+    b.branch_lt(Operand::Reg(1), opt.iters, top);
+    b.halt();
+    // Retreat path: clear own flag and retry.
+    b.bind(retreat);
+    b.st(own, 0u64);
+    b.jmp(top);
+    b.build()
+}
+
+/// The turn variable used by the full (livelock-free) Dekker protocol.
+pub const TURN: Addr = Addr(4);
+
+/// One side of the *full* Dekker protocol — the simplified Figure-1 shape
+/// augmented with the turn tie-break, which the paper notes is required to
+/// avoid livelock. Unlike [`dekker_side`], this variant is guaranteed to
+/// make progress under any fair scheduler (including the deterministic
+/// cycle-driven runner).
+fn dekker_turn_side(
+    name: &str,
+    kind: FenceKind,
+    own: Addr,
+    other: Addr,
+    my_id: u64,
+    opt: DekkerOptions,
+) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    // r1 = completed iterations; r0/r2 scratch.
+    let top = b.here();
+    fenced_store(&mut b, kind, own, 1);
+    let check = b.here();
+    let enter = b.label();
+    b.ld(0, other);
+    b.branch_eq(Operand::Reg(0), 0u64, enter);
+    // Contended: defer to the turn.
+    b.ld(2, TURN);
+    b.branch_eq(Operand::Reg(2), my_id, check); // my turn: hold and re-check
+    // Not my turn: retreat and wait for it.
+    b.st(own, 0u64);
+    let wait = b.here();
+    b.ld(2, TURN);
+    b.branch_ne(Operand::Reg(2), my_id, wait);
+    b.jmp(top);
+    // Critical section.
+    b.bind(enter);
+    b.enter_cs();
+    if opt.cs_mem_ops {
+        b.st(CS, my_id + 1);
+        b.ld(3, CS);
+    }
+    if opt.cs_work > 0 {
+        b.work(opt.cs_work);
+    }
+    b.leave_cs();
+    b.st(TURN, 1 - my_id); // hand the turn over
+    b.st(own, 0u64);
+    b.add(1, Operand::Reg(1), 1u64);
+    b.branch_lt(Operand::Reg(1), opt.iters, top);
+    b.halt();
+    b.build()
+}
+
+/// The full two-thread Dekker protocol (with the turn tie-break), fenced
+/// per `kinds`. Livelock-free; use this for throughput runs on the
+/// deterministic schedulers. The simplified [`dekker_pair`] is what the
+/// paper's Figure 1 shows and what the model checker explores.
+pub fn dekker_pair_with_turn(kinds: [FenceKind; 2], opt: DekkerOptions) -> Vec<Program> {
+    vec![
+        dekker_turn_side("dekker-turn.primary", kinds[0], L1, L2, 0, opt),
+        dekker_turn_side("dekker-turn.secondary", kinds[1], L2, L1, 1, opt),
+    ]
+}
+
+/// The two-thread Dekker protocol with each side fenced per `kinds`.
+/// `kinds == [Lmfence, Mfence]` is exactly the paper's Figure 3(a).
+pub fn dekker_pair(kinds: [FenceKind; 2], opt: DekkerOptions) -> Vec<Program> {
+    vec![
+        dekker_side("dekker.primary", kinds[0], L1, L2, 0, opt),
+        dekker_side("dekker.secondary", kinds[1], L2, L1, 1, opt),
+    ]
+}
+
+/// The asymmetric Dekker protocol of Figure 3(a): primary uses `l-mfence`,
+/// secondary uses `mfence`.
+pub fn dekker_asymmetric(opt: DekkerOptions) -> Vec<Program> {
+    dekker_pair([FenceKind::Lmfence, FenceKind::Mfence], opt)
+}
+
+/// A single thread running the Dekker *entry/exit* path with no contender —
+/// the Section 1 microbenchmark ("a thread running alone ... runs 4-7 times
+/// slower" with the fence). The other flag is never set, so the thread
+/// always enters.
+pub fn dekker_serial(kind: FenceKind, opt: DekkerOptions) -> Vec<Program> {
+    vec![dekker_side("dekker.serial", kind, L1, L2, 0, opt)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Inst;
+    use crate::machine::Machine;
+
+    #[test]
+    fn litmus_shapes() {
+        assert_eq!(litmus_sb([FenceKind::None, FenceKind::None]).len(), 2);
+        assert_eq!(litmus_mp().len(), 2);
+        assert_eq!(litmus_lb().len(), 2);
+        assert_eq!(litmus_2_2w().len(), 2);
+    }
+
+    #[test]
+    fn sb_with_mfence_contains_fence() {
+        let ps = litmus_sb([FenceKind::Mfence, FenceKind::None]);
+        assert!(ps[0].insts.iter().any(|i| matches!(i, Inst::Mfence)));
+        assert!(!ps[1].insts.iter().any(|i| matches!(i, Inst::Mfence)));
+    }
+
+    #[test]
+    fn sb_with_lmfence_expands_le_st() {
+        let ps = litmus_sb([FenceKind::Lmfence, FenceKind::Lmfence]);
+        for p in &ps {
+            assert!(p.insts.iter().any(|i| matches!(i, Inst::Le { .. })));
+            assert!(p.insts.iter().any(|i| matches!(i, Inst::SetLeBit(1))));
+        }
+    }
+
+    #[test]
+    fn dekker_serial_completes_and_counts_iterations() {
+        for kind in [FenceKind::None, FenceKind::Mfence, FenceKind::Lmfence] {
+            let opt = DekkerOptions {
+                iters: 3,
+                ..DekkerOptions::default()
+            };
+            let mut m = Machine::for_checking(dekker_serial(kind, opt));
+            let mut guard = 0;
+            while !m.is_terminal() {
+                let ts = m.enabled_transitions();
+                m.apply(ts[0]);
+                guard += 1;
+                assert!(guard < 10_000, "stuck with {kind:?}");
+            }
+            assert_eq!(m.cpus[0].regs[1], 3, "iterations with {kind:?}");
+            assert_eq!(m.mutex_violations, 0);
+        }
+    }
+
+    #[test]
+    fn dekker_pair_with_mfence_completes_somehow() {
+        // Round-robin scheduling happens to avoid livelock here; this only
+        // smoke-tests that the programs are runnable.
+        let opt = DekkerOptions {
+            iters: 1,
+            ..DekkerOptions::default()
+        };
+        let mut m = Machine::for_checking(dekker_pair([FenceKind::Mfence, FenceKind::Mfence], opt));
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let done = m.run_random(&mut rng, 200_000);
+        assert!(done, "random run should finish");
+        assert_eq!(m.mutex_violations, 0);
+    }
+
+    #[test]
+    fn fence_kind_labels() {
+        assert_eq!(FenceKind::None.label(), "none");
+        assert_eq!(FenceKind::Mfence.label(), "mfence");
+        assert_eq!(FenceKind::Lmfence.label(), "l-mfence");
+    }
+}

@@ -1,0 +1,205 @@
+//! Execution traces: the machine's observable event log.
+//!
+//! Every semantically interesting action emits an [`Event`] with a global
+//! sequence number. Trace checkers ([`crate::check`]) consume these logs to
+//! validate the TSO ordering principles of Section 2, the serialization
+//! order of Definition 1, and the guarded-store visibility property of
+//! Lemma 3.
+
+use crate::addr::Addr;
+use std::fmt;
+
+/// Why an LE/ST link was cleared.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkClearReason {
+    /// The guarded store drained from the store buffer on its own.
+    StoreCompleted,
+    /// Another processor's coherence request downgraded the guarded line;
+    /// the processor flushed its store buffer before the controller replied.
+    RemoteDowngrade,
+    /// The guarded line was evicted from the processor's own cache.
+    Eviction,
+    /// A context switch / interrupt drained the store buffer.
+    Interrupt,
+    /// A second `l-mfence` with a different guarded location arrived while
+    /// the link was still in effect (Section 3's back-to-back rule).
+    NewLmfence,
+}
+
+impl fmt::Display for LinkClearReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkClearReason::StoreCompleted => "store-completed",
+            LinkClearReason::RemoteDowngrade => "remote-downgrade",
+            LinkClearReason::Eviction => "eviction",
+            LinkClearReason::Interrupt => "interrupt",
+            LinkClearReason::NewLmfence => "new-lmfence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What happened.
+///
+/// Variant fields follow a fixed convention — `addr` the word touched,
+/// `val` the value observed or written, `commit_seq` the matching
+/// store-commit sequence number — documented once here.
+#[allow(missing_docs)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// A load committed (its value is architecturally bound).
+    LoadCommitted {
+        addr: Addr,
+        val: u64,
+        /// Served by store-buffer forwarding rather than the cache.
+        forwarded: bool,
+    },
+    /// A store committed into the store buffer (invisible to others).
+    /// `guarded` is set when the LE/ST registers guarded `addr` at commit
+    /// time, i.e. this is the store of an active `l-mfence`.
+    StoreCommitted { addr: Addr, val: u64, guarded: bool },
+    /// A store completed: flushed from the store buffer into the cache and
+    /// thereby made globally visible.
+    StoreCompleted { addr: Addr, val: u64, commit_seq: u64 },
+    /// An `LE` committed: the line is now held exclusively.
+    LeCommitted { addr: Addr },
+    /// An `mfence` finished draining the store buffer.
+    FenceCompleted,
+    /// The LE/ST link became set (LEBit, LEAddr, and E/M all hold).
+    LinkSet { addr: Addr },
+    /// The LE/ST link was cleared.
+    LinkCleared { reason: LinkClearReason },
+    /// The CPU entered its critical section.
+    EnterCs,
+    /// The CPU left its critical section.
+    LeaveCs,
+    /// Two CPUs were observed inside the critical section at once.
+    MutexViolation { other_cpu: usize },
+}
+
+/// A timestamped, attributed event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Global sequence number (total order over all events).
+    pub seq: u64,
+    /// The CPU whose action produced the event.
+    pub cpu: usize,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>4}] cpu{} ", self.seq, self.cpu)?;
+        match self.kind {
+            EventKind::LoadCommitted { addr, val, forwarded } => {
+                write!(f, "LD {addr} -> {val}{}", if forwarded { " (fwd)" } else { "" })
+            }
+            EventKind::StoreCommitted { addr, val, guarded } => {
+                write!(f, "ST {addr} <- {val} (commit{})", if guarded { ", guarded" } else { "" })
+            }
+            EventKind::StoreCompleted { addr, val, .. } => {
+                write!(f, "ST {addr} <- {val} (complete)")
+            }
+            EventKind::LeCommitted { addr } => write!(f, "LE {addr}"),
+            EventKind::FenceCompleted => write!(f, "MFENCE"),
+            EventKind::LinkSet { addr } => write!(f, "link set on {addr}"),
+            EventKind::LinkCleared { reason } => write!(f, "link cleared ({reason})"),
+            EventKind::EnterCs => write!(f, "enter CS"),
+            EventKind::LeaveCs => write!(f, "leave CS"),
+            EventKind::MutexViolation { other_cpu } => {
+                write!(f, "MUTEX VIOLATION (with cpu{other_cpu})")
+            }
+        }
+    }
+}
+
+/// A recorded execution trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Events in global sequence order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterate events in global order.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Events produced by one CPU, in order.
+    pub fn by_cpu(&self, cpu: usize) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.cpu == cpu)
+    }
+
+    /// Pretty-print the whole trace (for test failure diagnostics).
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&format!("{e}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Event {
+            seq: 3,
+            cpu: 1,
+            kind: EventKind::LoadCommitted {
+                addr: Addr(5),
+                val: 9,
+                forwarded: true,
+            },
+        };
+        assert_eq!(format!("{e}"), "[   3] cpu1 LD @5 -> 9 (fwd)");
+        let e2 = Event {
+            seq: 10,
+            cpu: 0,
+            kind: EventKind::LinkCleared {
+                reason: LinkClearReason::RemoteDowngrade,
+            },
+        };
+        assert_eq!(format!("{e2}"), "[  10] cpu0 link cleared (remote-downgrade)");
+    }
+
+    #[test]
+    fn by_cpu_filters() {
+        let mut t = Trace::new();
+        for (i, cpu) in [(0u64, 0usize), (1, 1), (2, 0)] {
+            t.push(Event {
+                seq: i,
+                cpu,
+                kind: EventKind::FenceCompleted,
+            });
+        }
+        assert_eq!(t.by_cpu(0).count(), 2);
+        assert_eq!(t.by_cpu(1).count(), 1);
+        assert_eq!(t.len(), 3);
+    }
+}

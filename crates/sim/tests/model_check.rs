@@ -1,0 +1,445 @@
+//! Model-checking the paper's claims over *all* interleavings.
+//!
+//! These tests are the empirical counterparts of the paper's formal results:
+//!
+//! * **Section 2 / Figure 1** — the Dekker duality is broken under TSO
+//!   without fences: the relaxed store-buffering outcome is reachable and
+//!   the unfenced Dekker protocol violates mutual exclusion.
+//! * **Theorem 4** — the LE/ST mechanism implements the `l-mfence`
+//!   specification: wherever a pair of `mfence`s forbids an outcome, the
+//!   corresponding `l-mfence` placement forbids it too.
+//! * **Theorem 7** — the asymmetric Dekker protocol (primary `l-mfence`,
+//!   secondary `mfence`) provides mutual exclusion.
+
+use lbmf_sim::prelude::*;
+
+/// Outcome of the SB litmus: (r0 of CPU0, r0 of CPU1).
+fn sb_outcome(m: &Machine) -> (u64, u64) {
+    (m.cpus[0].regs[0], m.cpus[1].regs[0])
+}
+
+fn explore_sb(kinds: [FenceKind; 2]) -> ExploreResult<(u64, u64)> {
+    let m = Machine::for_checking(litmus_sb(kinds));
+    let r = Explorer::default().explore(m, sb_outcome);
+    assert!(!r.truncated, "SB exploration truncated for {kinds:?}");
+    r
+}
+
+#[test]
+fn sb_unfenced_allows_relaxed_outcome() {
+    let r = explore_sb([FenceKind::None, FenceKind::None]);
+    assert!(
+        r.has_outcome(&(0, 0)),
+        "TSO must allow both threads to miss each other's store"
+    );
+}
+
+#[test]
+fn sb_one_sided_fence_still_allows_relaxed_outcome() {
+    // A single fence — of either kind, on either side — is not enough:
+    // the *pairing* requirement of Section 3.
+    for kinds in [
+        [FenceKind::Mfence, FenceKind::None],
+        [FenceKind::None, FenceKind::Mfence],
+        [FenceKind::Lmfence, FenceKind::None],
+        [FenceKind::None, FenceKind::Lmfence],
+    ] {
+        let r = explore_sb(kinds);
+        assert!(
+            r.has_outcome(&(0, 0)),
+            "one-sided {kinds:?} should still allow 0/0; outcomes {:?}",
+            r.outcomes
+        );
+    }
+}
+
+#[test]
+fn sb_paired_fences_forbid_relaxed_outcome() {
+    // Theorem 4's consequence: l-mfence may substitute for mfence in any
+    // pairing, and the relaxed outcome disappears.
+    for kinds in [
+        [FenceKind::Mfence, FenceKind::Mfence],
+        [FenceKind::Lmfence, FenceKind::Mfence],
+        [FenceKind::Mfence, FenceKind::Lmfence],
+        [FenceKind::Lmfence, FenceKind::Lmfence],
+    ] {
+        let r = explore_sb(kinds);
+        assert!(
+            !r.has_outcome(&(0, 0)),
+            "paired {kinds:?} must forbid 0/0; outcomes {:?}",
+            r.outcomes
+        );
+        assert!(!r.outcomes.is_empty(), "some outcome must be reachable");
+    }
+}
+
+#[test]
+fn sb_paired_fences_keep_sc_outcomes_reachable() {
+    // The fences must not be vacuous: the sequentially consistent outcomes
+    // remain reachable.
+    let r = explore_sb([FenceKind::Lmfence, FenceKind::Mfence]);
+    assert!(r.has_outcome(&(1, 1)) || r.has_outcome(&(0, 1)) || r.has_outcome(&(1, 0)));
+    // (1,1): both stores complete before both loads.
+    assert!(r.has_outcome(&(1, 1)), "fully serialized outcome reachable");
+}
+
+#[test]
+fn mp_litmus_forbids_stale_data() {
+    // Message passing needs no fence under TSO: stores complete FIFO and
+    // loads commit in order (ordering principles 1 and 3).
+    let m = Machine::for_checking(litmus_mp());
+    let r = Explorer::default().explore(m, |m| (m.cpus[1].regs[0], m.cpus[1].regs[1]));
+    assert!(!r.truncated);
+    assert!(
+        !r.has_outcome(&(1, 0)),
+        "flag=1 with data=0 must be impossible under TSO; outcomes {:?}",
+        r.outcomes
+    );
+    assert!(r.has_outcome(&(1, 1)));
+    assert!(r.has_outcome(&(0, 0)));
+}
+
+#[test]
+fn lb_litmus_forbids_both_ones() {
+    // Load buffering: a store is never reordered before an older load
+    // (ordering principle 2).
+    let m = Machine::for_checking(litmus_lb());
+    let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[0], m.cpus[1].regs[0]));
+    assert!(!r.truncated);
+    assert!(!r.has_outcome(&(1, 1)), "outcomes {:?}", r.outcomes);
+}
+
+#[test]
+fn two_plus_two_w_forbids_cross_final_state() {
+    // 2+2W: FIFO completion on both CPUs forbids the final state where each
+    // location holds the *other* CPU's first store.
+    let m = Machine::for_checking(litmus_2_2w());
+    let r = Explorer::default().explore(m, |m| (m.coherent_word(L1), m.coherent_word(L2)));
+    assert!(!r.truncated);
+    assert!(!r.has_outcome(&(1, 1)), "outcomes {:?}", r.outcomes);
+    // Other final states are reachable.
+    assert!(r.has_outcome(&(2, 2)) || r.has_outcome(&(1, 2)) || r.has_outcome(&(2, 1)));
+}
+
+#[test]
+fn guarded_read_always_sees_completed_store_or_zero() {
+    // Lemma 3's litmus: the secondary either reads before the guarded store
+    // commits (0) or observes the full value (1) — never a torn view, and
+    // the coherent final state is always 1.
+    let m = Machine::for_checking(litmus_guarded_read());
+    let r = Explorer::default().explore(m, |m| (m.cpus[1].regs[0], m.coherent_word(L1)));
+    assert!(!r.truncated);
+    for (read, final_l1) in r.outcomes.iter() {
+        assert!(*read == 0 || *read == 1);
+        assert_eq!(*final_l1, 1, "guarded store must eventually complete");
+    }
+}
+
+// -----------------------------------------------------------------------
+// Dekker mutual exclusion (Theorem 7)
+// -----------------------------------------------------------------------
+
+fn explore_dekker(kinds: [FenceKind; 2], iters: u64) -> ExploreResult<(u64, u64)> {
+    let opt = DekkerOptions {
+        iters,
+        cs_mem_ops: true,
+        cs_work: 0,
+    };
+    let m = Machine::for_checking(dekker_pair(kinds, opt));
+    Explorer::default().explore(m, |m| (m.cpus[0].regs[1], m.cpus[1].regs[1]))
+}
+
+#[test]
+fn dekker_unfenced_violates_mutual_exclusion() {
+    let r = explore_dekker([FenceKind::None, FenceKind::None], 1);
+    assert!(
+        r.mutex_violations > 0,
+        "Figure 1 without fences must be broken under TSO"
+    );
+}
+
+#[test]
+fn dekker_one_sided_fence_violates_mutual_exclusion() {
+    for kinds in [
+        [FenceKind::Mfence, FenceKind::None],
+        [FenceKind::None, FenceKind::Mfence],
+        [FenceKind::Lmfence, FenceKind::None],
+        [FenceKind::None, FenceKind::Lmfence],
+    ] {
+        let r = explore_dekker(kinds, 1);
+        assert!(
+            r.mutex_violations > 0,
+            "one-sided {kinds:?} must still admit a violation"
+        );
+    }
+}
+
+#[test]
+fn dekker_symmetric_mfence_is_mutually_exclusive() {
+    let r = explore_dekker([FenceKind::Mfence, FenceKind::Mfence], 1);
+    assert!(!r.truncated);
+    assert_eq!(r.mutex_violations, 0);
+    // Completion is possible (both finish one iteration).
+    assert!(r.has_outcome(&(1, 1)));
+}
+
+#[test]
+fn dekker_asymmetric_lmfence_is_mutually_exclusive() {
+    // Theorem 7: primary l-mfence + secondary mfence.
+    let r = explore_dekker([FenceKind::Lmfence, FenceKind::Mfence], 1);
+    assert!(!r.truncated);
+    assert_eq!(r.mutex_violations, 0, "Theorem 7 violated");
+    assert!(r.has_outcome(&(1, 1)));
+}
+
+#[test]
+fn dekker_mirrored_lmfence_is_mutually_exclusive() {
+    // Section 4's closing remark: the secondary may mirror the l-mfence and
+    // the protocol still provides mutual exclusion.
+    let r = explore_dekker([FenceKind::Lmfence, FenceKind::Lmfence], 1);
+    assert!(!r.truncated);
+    assert_eq!(r.mutex_violations, 0);
+    assert!(r.has_outcome(&(1, 1)));
+}
+
+#[test]
+fn dekker_asymmetric_two_iterations_still_exclusive() {
+    // Two iterations exercise link reuse across protocol rounds (the flag
+    // returns to 0 and a new l-mfence guards it again).
+    let r = explore_dekker([FenceKind::Lmfence, FenceKind::Mfence], 2);
+    assert!(!r.truncated, "state space exceeded bounds");
+    assert_eq!(r.mutex_violations, 0);
+    assert!(r.has_outcome(&(2, 2)));
+}
+
+// -----------------------------------------------------------------------
+// Per-trace checking across all interleavings
+// -----------------------------------------------------------------------
+
+fn traced_for_checking(progs: Vec<Program>) -> Machine {
+    let cfg = MachineConfig {
+        record_trace: true,
+        ..MachineConfig::default()
+    };
+    Machine::new(cfg, CostModel::zero(), progs)
+}
+
+#[test]
+fn all_guarded_read_traces_satisfy_lemma_3() {
+    let m = traced_for_checking(litmus_guarded_read());
+    let (r, failure) = Explorer::default().explore_checking(m, |m| check_all(m, &[]));
+    assert!(failure.is_none(), "trace check failed: {failure:?}");
+    assert!(r.terminals > 0);
+}
+
+#[test]
+fn all_asymmetric_sb_traces_satisfy_definitions() {
+    let m = traced_for_checking(litmus_sb([FenceKind::Lmfence, FenceKind::Mfence]));
+    let (r, failure) = Explorer::default().explore_checking(m, |m| check_all(m, &[]));
+    assert!(failure.is_none(), "trace check failed: {failure:?}");
+    assert!(r.terminals > 0);
+}
+
+#[test]
+fn all_asymmetric_dekker_traces_satisfy_definitions() {
+    let opt = DekkerOptions {
+        iters: 1,
+        cs_mem_ops: true,
+        cs_work: 0,
+    };
+    let m = traced_for_checking(dekker_asymmetric(opt));
+    let (r, failure) = Explorer::default().explore_checking(m, |m| {
+        check_all(m, &[])?;
+        check_no_mutex_violation(m)
+    });
+    assert!(failure.is_none(), "trace check failed: {failure:?}");
+    assert!(r.terminals > 0);
+}
+
+// -----------------------------------------------------------------------
+// Interrupts and false sharing
+// -----------------------------------------------------------------------
+
+#[test]
+fn dekker_asymmetric_survives_interrupts() {
+    // Context switches drain the store buffer and break the link; mutual
+    // exclusion must still hold on every interleaving.
+    let opt = DekkerOptions {
+        iters: 1,
+        cs_mem_ops: false,
+        cs_work: 0,
+    };
+    let cfg = MachineConfig {
+        record_trace: false,
+        interrupts_enabled: true,
+        ..MachineConfig::default()
+    };
+    let m = Machine::new(cfg, CostModel::zero(), dekker_asymmetric(opt));
+    let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[1], m.cpus[1].regs[1]));
+    assert!(!r.truncated);
+    assert_eq!(r.mutex_violations, 0);
+}
+
+#[test]
+fn false_sharing_breaks_link_but_preserves_correctness() {
+    // With 4-word lines, L1 (addr 0) and L2 (addr 1) share a cache line, so
+    // the secondary's *own-flag write* also collides with the primary's
+    // guarded line. The protocol must remain mutually exclusive — links
+    // just break more often.
+    let opt = DekkerOptions {
+        iters: 1,
+        cs_mem_ops: false,
+        cs_work: 0,
+    };
+    let cfg = MachineConfig {
+        geom: Geometry::new(2),
+        record_trace: false,
+        ..MachineConfig::default()
+    };
+    let m = Machine::new(cfg, CostModel::zero(), dekker_asymmetric(opt));
+    let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[1], m.cpus[1].regs[1]));
+    assert!(!r.truncated);
+    assert_eq!(r.mutex_violations, 0);
+    assert!(r.has_outcome(&(1, 1)));
+}
+
+#[test]
+fn tiny_cache_evictions_preserve_correctness() {
+    // A 1-line cache forces the guarded line out constantly, exercising the
+    // eviction notification path on every interleaving.
+    let opt = DekkerOptions {
+        iters: 1,
+        cs_mem_ops: true,
+        cs_work: 0,
+    };
+    let cfg = MachineConfig {
+        cache_capacity: 1,
+        record_trace: false,
+        ..MachineConfig::default()
+    };
+    let m = Machine::new(cfg, CostModel::zero(), dekker_asymmetric(opt));
+    let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[1], m.cpus[1].regs[1]));
+    assert!(!r.truncated);
+    assert_eq!(r.mutex_violations, 0);
+}
+
+#[test]
+fn iriw_readers_agree_on_write_order() {
+    // Footnote 4: all *other* processors observe a consistent ordering of
+    // two writes. Readers that fence between their loads may never
+    // disagree: (1,0) on both readers is forbidden.
+    let m = Machine::for_checking(litmus_iriw(true));
+    let r = Explorer::new(20_000_000, 100_000).explore(m, |m| {
+        (
+            (m.cpus[2].regs[0], m.cpus[2].regs[1]),
+            (m.cpus[3].regs[0], m.cpus[3].regs[1]),
+        )
+    });
+    assert!(!r.truncated, "IRIW state space exceeded bounds");
+    assert!(
+        !r.has_outcome(&((1, 0), (1, 0))),
+        "readers disagreed on write order: {:?}",
+        r.outcomes
+    );
+    // Sanity: plenty of legal outcomes exist.
+    assert!(r.outcomes.len() >= 4);
+}
+
+#[test]
+fn iriw_unfenced_readers_still_agree_under_tso() {
+    // Even without reader fences, TSO (atomic stores via coherence) keeps
+    // IRIW's forbidden outcome unreachable — unlike POWER-style models.
+    let m = Machine::for_checking(litmus_iriw(false));
+    let r = Explorer::new(20_000_000, 100_000).explore(m, |m| {
+        (
+            (m.cpus[2].regs[0], m.cpus[2].regs[1]),
+            (m.cpus[3].regs[0], m.cpus[3].regs[1]),
+        )
+    });
+    assert!(!r.truncated);
+    assert!(!r.has_outcome(&((1, 0), (1, 0))), "{:?}", r.outcomes);
+}
+
+#[test]
+fn full_dekker_with_turn_is_mutually_exclusive_and_live() {
+    // The turn-augmented (livelock-free) Dekker protocol: mutual exclusion
+    // over all interleavings, and deterministic progress on the
+    // cycle-driven runner (which livelocks the simplified protocol).
+    let opt = DekkerOptions {
+        iters: 1,
+        cs_mem_ops: false,
+        cs_work: 0,
+    };
+    for kinds in [
+        [FenceKind::Mfence, FenceKind::Mfence],
+        [FenceKind::Lmfence, FenceKind::Mfence],
+    ] {
+        let m = Machine::for_checking(dekker_pair_with_turn(kinds, opt));
+        let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[1], m.cpus[1].regs[1]));
+        assert!(!r.truncated, "{kinds:?}");
+        assert_eq!(r.mutex_violations, 0, "{kinds:?}");
+        assert!(r.has_outcome(&(1, 1)), "{kinds:?}");
+    }
+    // Progress under the deterministic scheduler, many iterations.
+    let opt = DekkerOptions {
+        iters: 200,
+        cs_mem_ops: true,
+        cs_work: 2,
+    };
+    let cfg = MachineConfig {
+        record_trace: false,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(
+        cfg,
+        CostModel::default(),
+        dekker_pair_with_turn([FenceKind::Lmfence, FenceKind::Mfence], opt),
+    );
+    assert!(m.run_pseudo_parallel(8, 50_000_000), "turn protocol must not livelock");
+    assert_eq!(m.cpus[0].regs[1], 200);
+    assert_eq!(m.cpus[1].regs[1], 200);
+    assert_eq!(m.mutex_violations, 0);
+}
+
+#[test]
+fn full_dekker_with_turn_unfenced_still_broken() {
+    let opt = DekkerOptions {
+        iters: 1,
+        cs_mem_ops: false,
+        cs_work: 0,
+    };
+    let m = Machine::for_checking(dekker_pair_with_turn([FenceKind::None, FenceKind::None], opt));
+    let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[1], m.cpus[1].regs[1]));
+    assert!(
+        r.mutex_violations > 0,
+        "the turn tie-break does not fix the missing fences"
+    );
+}
+
+#[test]
+fn r_litmus_relaxed_outcome_needs_the_fence() {
+    // Unfenced: TSO allows P1 to read L1 = 0 even when its own L2 store
+    // wins the coherence race.
+    let m = Machine::for_checking(litmus_r(false));
+    let r = Explorer::default().explore(m, |m| (m.cpus[1].regs[0], m.coherent_word(L2)));
+    assert!(!r.truncated);
+    assert!(r.has_outcome(&(0, 1)), "unfenced R must allow (0,1): {:?}", r.outcomes);
+
+    // With an mfence on P1 the outcome vanishes.
+    let m = Machine::for_checking(litmus_r(true));
+    let r = Explorer::default().explore(m, |m| (m.cpus[1].regs[0], m.coherent_word(L2)));
+    assert!(!r.truncated);
+    assert!(!r.has_outcome(&(0, 1)), "fenced R must forbid (0,1): {:?}", r.outcomes);
+    assert!(r.has_outcome(&(0, 2)) && r.has_outcome(&(1, 1)) && r.has_outcome(&(1, 2)));
+}
+
+#[test]
+fn s_litmus_forbidden_without_any_fence() {
+    // (r0 = 1, final L1 = 2) contradicts FIFO completion + in-order
+    // commit; no fence is needed to forbid it under TSO.
+    let m = Machine::for_checking(litmus_s());
+    let r = Explorer::default().explore(m, |m| (m.cpus[1].regs[0], m.coherent_word(L1)));
+    assert!(!r.truncated);
+    assert!(!r.has_outcome(&(1, 2)), "S forbidden outcome reachable: {:?}", r.outcomes);
+    assert!(r.has_outcome(&(1, 1)), "the benign (1,1) shape must exist");
+}

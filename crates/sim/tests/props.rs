@@ -1,0 +1,272 @@
+//! Property-based tests: random programs, random schedules, and the
+//! machine's semantic invariants.
+//!
+//! Strategy: generate arbitrary straight-line programs over a small address
+//! space (loads, stores, fences, `l-mfence`s, local work), run them under a
+//! randomly sampled schedule, and assert the checkers of [`lbmf_sim::check`]
+//! hold on the recorded trace:
+//!
+//! * every load reads the latest completed store (or its own forwarded one);
+//! * each CPU's stores complete in FIFO order (TSO principle 3);
+//! * guarded stores are never read remotely before completing (Lemma 3);
+//! * MESI single-writer-multiple-readers and clean-line agreement.
+
+use lbmf_sim::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// A generatable instruction blueprint (resolved to real instructions).
+#[derive(Clone, Debug)]
+enum Op {
+    Load { reg: u8, addr: u64 },
+    Store { addr: u64, val: u64 },
+    Fence,
+    Lmfence { addr: u64, val: u64 },
+    Alu,
+}
+
+fn op_strategy(num_addrs: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..4, 0..num_addrs).prop_map(|(reg, addr)| Op::Load { reg, addr }),
+        4 => (0..num_addrs, 1u64..16).prop_map(|(addr, val)| Op::Store { addr, val }),
+        1 => Just(Op::Fence),
+        2 => (0..num_addrs, 1u64..16).prop_map(|(addr, val)| Op::Lmfence { addr, val }),
+        1 => Just(Op::Alu),
+    ]
+}
+
+fn build_program(name: &str, ops: &[Op]) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    for op in ops {
+        match *op {
+            Op::Load { reg, addr } => {
+                b.ld(reg, Addr(addr));
+            }
+            Op::Store { addr, val } => {
+                b.st(Addr(addr), val);
+            }
+            Op::Fence => {
+                b.mfence();
+            }
+            Op::Lmfence { addr, val } => {
+                b.lmfence(Addr(addr), val);
+            }
+            Op::Alu => {
+                b.add(7, Operand::Reg(7), 1u64);
+            }
+        }
+    }
+    b.halt();
+    b.build()
+}
+
+fn machine_config(line_shift: u32, cache_capacity: usize, sb_capacity: usize) -> MachineConfig {
+    MachineConfig {
+        geom: Geometry::new(line_shift),
+        sb_capacity,
+        cache_capacity,
+        record_trace: true,
+        interrupts_enabled: false,
+        coherence: Coherence::Mesi,
+    }
+}
+
+fn run_and_check(
+    progs: Vec<Program>,
+    cfg: MachineConfig,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let mut m = Machine::new(cfg, CostModel::zero(), progs);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let done = m.run_random(&mut rng, 100_000);
+    prop_assert!(done, "random run did not terminate");
+    if let Err(e) = check_all(&m, &[]) {
+        return Err(TestCaseError::fail(e));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Two CPUs, default geometry: all trace invariants hold on every
+    /// random program and schedule.
+    #[test]
+    fn random_programs_two_cpus_satisfy_invariants(
+        ops0 in proptest::collection::vec(op_strategy(4), 0..12),
+        ops1 in proptest::collection::vec(op_strategy(4), 0..12),
+        seed in any::<u64>(),
+    ) {
+        let progs = vec![build_program("p0", &ops0), build_program("p1", &ops1)];
+        run_and_check(progs, machine_config(0, usize::MAX, 8), seed)?;
+    }
+
+    /// Three CPUs sharing four addresses.
+    #[test]
+    fn random_programs_three_cpus_satisfy_invariants(
+        ops0 in proptest::collection::vec(op_strategy(4), 0..8),
+        ops1 in proptest::collection::vec(op_strategy(4), 0..8),
+        ops2 in proptest::collection::vec(op_strategy(4), 0..8),
+        seed in any::<u64>(),
+    ) {
+        let progs = vec![
+            build_program("p0", &ops0),
+            build_program("p1", &ops1),
+            build_program("p2", &ops2),
+        ];
+        run_and_check(progs, machine_config(0, usize::MAX, 8), seed)?;
+    }
+
+    /// False sharing (4-word lines) must not break any invariant.
+    #[test]
+    fn random_programs_false_sharing_satisfy_invariants(
+        ops0 in proptest::collection::vec(op_strategy(8), 0..10),
+        ops1 in proptest::collection::vec(op_strategy(8), 0..10),
+        seed in any::<u64>(),
+    ) {
+        let progs = vec![build_program("p0", &ops0), build_program("p1", &ops1)];
+        run_and_check(progs, machine_config(2, usize::MAX, 8), seed)?;
+    }
+
+    /// Tiny caches (constant evictions, including of guarded lines) must
+    /// not break any invariant.
+    #[test]
+    fn random_programs_tiny_cache_satisfy_invariants(
+        ops0 in proptest::collection::vec(op_strategy(6), 0..10),
+        ops1 in proptest::collection::vec(op_strategy(6), 0..10),
+        seed in any::<u64>(),
+    ) {
+        let progs = vec![build_program("p0", &ops0), build_program("p1", &ops1)];
+        run_and_check(progs, machine_config(0, 2, 8), seed)?;
+    }
+
+    /// Tiny store buffers (capacity 1–2: constant stalls) must not break
+    /// any invariant.
+    #[test]
+    fn random_programs_tiny_sb_satisfy_invariants(
+        ops0 in proptest::collection::vec(op_strategy(4), 0..10),
+        ops1 in proptest::collection::vec(op_strategy(4), 0..10),
+        sb in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let progs = vec![build_program("p0", &ops0), build_program("p1", &ops1)];
+        run_and_check(progs, machine_config(0, usize::MAX, sb), seed)?;
+    }
+
+    /// With interrupts enabled the invariants still hold.
+    #[test]
+    fn random_programs_with_interrupts_satisfy_invariants(
+        ops0 in proptest::collection::vec(op_strategy(4), 0..10),
+        ops1 in proptest::collection::vec(op_strategy(4), 0..10),
+        seed in any::<u64>(),
+    ) {
+        let cfg = MachineConfig {
+            interrupts_enabled: true,
+            ..machine_config(0, usize::MAX, 8)
+        };
+        let progs = vec![build_program("p0", &ops0), build_program("p1", &ops1)];
+        run_and_check(progs, cfg, seed)?;
+    }
+
+    /// The final coherent state of single-CPU programs equals a simple
+    /// sequential interpretation (the machine is SC for one processor).
+    #[test]
+    fn single_cpu_is_sequentially_consistent(
+        ops in proptest::collection::vec(op_strategy(4), 0..16),
+        seed in any::<u64>(),
+    ) {
+        let prog = build_program("p0", &ops);
+        let mut m = Machine::new(machine_config(0, usize::MAX, 4), CostModel::zero(), vec![prog]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        prop_assert!(m.run_random(&mut rng, 100_000));
+
+        // Reference interpretation.
+        let mut mem = std::collections::HashMap::new();
+        let mut regs = [0u64; 8];
+        for op in &ops {
+            match *op {
+                Op::Load { reg, addr } => {
+                    regs[reg as usize] = *mem.get(&addr).unwrap_or(&0);
+                }
+                Op::Store { addr, val } | Op::Lmfence { addr, val } => {
+                    mem.insert(addr, val);
+                }
+                Op::Fence => {}
+                Op::Alu => regs[7] = regs[7].wrapping_add(1),
+            }
+        }
+        for (addr, val) in &mem {
+            prop_assert_eq!(m.coherent_word(Addr(*addr)), *val, "addr {}", addr);
+        }
+        for (r, expected) in regs.iter().enumerate().take(7) {
+            prop_assert_eq!(m.cpus[0].regs[r], *expected, "reg {}", r);
+        }
+    }
+
+    /// Fingerprints are schedule-insensitive for terminal states of
+    /// *deterministic-outcome* programs (single CPU): any two schedules end
+    /// in the same semantic state.
+    #[test]
+    fn single_cpu_terminal_fingerprint_is_schedule_independent(
+        ops in proptest::collection::vec(op_strategy(3), 0..10),
+        seed1 in any::<u64>(),
+        seed2 in any::<u64>(),
+    ) {
+        let make = || {
+            let cfg = MachineConfig { record_trace: false, ..machine_config(0, usize::MAX, 4) };
+            Machine::new(cfg, CostModel::zero(), vec![build_program("p", &ops)])
+        };
+        let mut m1 = make();
+        let mut m2 = make();
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(seed1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(seed2);
+        prop_assert!(m1.run_random(&mut r1, 100_000));
+        prop_assert!(m2.run_random(&mut r2, 100_000));
+        // Settle caches: flush already done (terminal). Fingerprints may
+        // still differ in cache residency... so compare architectural state
+        // instead: registers and coherent memory.
+        for r in 0..8 {
+            prop_assert_eq!(m1.cpus[0].regs[r], m2.cpus[0].regs[r]);
+        }
+        for a in 0..4u64 {
+            prop_assert_eq!(m1.coherent_word(Addr(a)), m2.coherent_word(Addr(a)));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Explorer soundness (differential): every outcome reachable by a
+    /// random schedule must appear in the exhaustive exploration's outcome
+    /// set. (The converse — completeness of the random sampler — is not
+    /// expected.)
+    #[test]
+    fn explorer_outcomes_contain_all_random_schedule_outcomes(
+        ops0 in proptest::collection::vec(op_strategy(3), 0..6),
+        ops1 in proptest::collection::vec(op_strategy(3), 0..6),
+        seeds in proptest::collection::vec(any::<u64>(), 8),
+    ) {
+        let progs = vec![build_program("p0", &ops0), build_program("p1", &ops1)];
+        let outcome = |m: &Machine| -> (Vec<u64>, Vec<u64>) {
+            (
+                m.cpus.iter().flat_map(|c| c.regs[..4].to_vec()).collect(),
+                (0..3u64).map(|a| m.coherent_word(Addr(a))).collect(),
+            )
+        };
+        let exhaustive = Explorer::default()
+            .explore(Machine::for_checking(progs.clone()), outcome);
+        prop_assert!(!exhaustive.truncated);
+        for seed in seeds {
+            let mut m = Machine::for_checking(progs.clone());
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            prop_assert!(m.run_random(&mut rng, 100_000));
+            let got = outcome(&m);
+            prop_assert!(
+                exhaustive.has_outcome(&got),
+                "random schedule produced an outcome the explorer missed: {:?}",
+                got
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! JVM-style safepoint coordination (the paper's Section 1 motivation):
+//! mutator threads run pinned regions on a fence-free fast path; a
+//! collector thread occasionally stops the world, remotely serializing
+//! the mutators only when it actually needs the pause.
+//!
+//! ```text
+//! cargo run --release --example gc_safepoint [mutators] [pauses]
+//! ```
+
+use lbmf_repro::fences::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mutators: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let pauses: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(25);
+
+    // The waiting heuristic lets busy mutators acknowledge the pause
+    // instead of being signaled.
+    let sp = Arc::new(Safepoint::with_spin_window(Arc::new(SignalFence::new()), 5_000));
+    let allocated = Arc::new(AtomicU64::new(0));
+    let collected = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut threads = Vec::new();
+    for _ in 0..mutators {
+        let sp = sp.clone();
+        let allocated = allocated.clone();
+        let stop = stop.clone();
+        threads.push(std::thread::spawn(move || {
+            let m = sp.register_mutator();
+            let mut local = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // "Mutate" inside a pinned region; the collector must wait
+                // for us.
+                m.pinned(|| {
+                    local += 1;
+                });
+                if local.is_multiple_of(64) {
+                    m.safepoint_check(); // polite poll between regions
+                }
+            }
+            allocated.fetch_add(local, Ordering::Relaxed);
+        }));
+    }
+
+    spin_until(|| sp.mutators() == mutators);
+    for gen in 0..pauses {
+        sp.stop_the_world(|| {
+            // Exclusive: no mutator is pinned right now.
+            collected.fetch_add(1, Ordering::Relaxed);
+            if gen == 0 {
+                println!("first world-stop reached with {} mutators parked", mutators);
+            }
+        });
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let snap = sp.lock().strategy().stats().snapshot();
+    println!("mutators            : {mutators}");
+    println!("world stops         : {}", sp.pauses());
+    println!("pinned regions      : {}", allocated.load(Ordering::Relaxed));
+    println!("collections         : {}", collected.load(Ordering::Relaxed));
+    println!("mutator hw fences   : {}", snap.primary_full_fences);
+    println!("signals sent        : {}", snap.serializations_delivered);
+    println!(
+        "signals skipped     : {} (mutators acknowledged within the window)",
+        sp.lock().signals_skipped.load(Ordering::Relaxed)
+    );
+    assert_eq!(sp.pauses(), pauses as u64);
+}

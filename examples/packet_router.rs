@@ -1,0 +1,99 @@
+//! The paper's network packet-processing scenario (Section 1): each
+//! processing thread owns a routing table for its group of source
+//! addresses and updates it fence-free; occasionally another thread must
+//! install a route into a table it does not own — a remote update that
+//! serializes the owner on demand.
+//!
+//! ```text
+//! cargo run --release --example packet_router [threads] [packets]
+//! ```
+
+use lbmf_repro::fences::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-thread routing state: source prefix -> (next hop, hit counter).
+type RouteTable = HashMap<u32, (u32, u64)>;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let packets: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+
+    // One owned table per processing thread.
+    let tables: Vec<Arc<OwnedCell<RouteTable, SignalFence>>> = (0..threads)
+        .map(|_| Arc::new(OwnedCell::new(Arc::new(SignalFence::new()), RouteTable::new())))
+        .collect();
+    let cross_updates = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for id in 0..threads {
+        let tables = tables.clone();
+        let cross = cross_updates.clone();
+        let done = done.clone();
+        handles.push(std::thread::spawn(move || {
+            let owner = tables[id].register_owner();
+            let mut rng = 0x9E3779B97F4A7C15u64.wrapping_mul(id as u64 + 1) | 1;
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            for _ in 0..packets {
+                let src = (next() % 4096) as u32;
+                let shard = (src as usize) % tables.len();
+                if shard == id {
+                    // Fast path: our own table, fence-free.
+                    owner.with(|t| {
+                        let e = t.entry(src).or_insert((src ^ 0xFF, 0));
+                        e.1 += 1;
+                    });
+                } else if next() % 512 == 0 {
+                    // Rare cross-thread route installation: remote update.
+                    tables[shard].remote_update(|t| {
+                        t.entry(src).or_insert((src ^ 0xAB, 0)).0 = src ^ 0xAB;
+                    });
+                    cross.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Keep registrations alive until everyone stops signaling.
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }));
+    }
+    // Let workers finish their packet loops, then release them together.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    loop {
+        let total_cross = cross_updates.load(Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if cross_updates.load(Ordering::Relaxed) == total_cross {
+            break;
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = t0.elapsed();
+
+    let total_hits: u64 = tables
+        .iter()
+        .map(|t| t.remote_read(|m| m.values().map(|(_, c)| c).sum::<u64>()))
+        .sum();
+    let total_fences: u64 = tables
+        .iter()
+        .map(|t| t.lock().strategy().stats().snapshot().primary_full_fences)
+        .sum();
+    println!("threads          : {threads}");
+    println!("packets/thread   : {packets}");
+    println!("owned-table hits : {total_hits}");
+    println!("cross updates    : {}", cross_updates.load(Ordering::Relaxed));
+    println!("owner hw fences  : {total_fences} (fast path is fence-free)");
+    println!("elapsed          : {elapsed:.2?}");
+}

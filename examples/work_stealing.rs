@@ -1,0 +1,57 @@
+//! The ACilk-5 scenario: a work-stealing runtime whose victim/thief deque
+//! protocol uses location-based fences.
+//!
+//! Runs a few of the paper's Figure-4 kernels on the symmetric (Cilk-5
+//! style, mfence per pop) and asymmetric (ACilk-5 style, fence-free pops)
+//! runtimes and prints the ratio plus the steal statistics.
+//!
+//! ```text
+//! cargo run --release --example work_stealing [workers]
+//! ```
+
+use lbmf_repro::cilk::bench::{Kernel, Scale};
+use lbmf_repro::cilk::Scheduler;
+use lbmf_repro::fences::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
+
+    let symmetric = Scheduler::new(workers, Arc::new(Symmetric::new()));
+    let asymmetric = Scheduler::new(workers, Arc::new(SignalFence::new()));
+
+    println!("{workers} workers, Test-scale inputs\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>7} {:>16}",
+        "kernel", "cilk-5", "acilk-5", "ratio", "fences avoided"
+    );
+    for kernel in [Kernel::Fib, Kernel::Cilksort, Kernel::Nqueens, Kernel::Matmul] {
+        let sym = kernel.run_timed(&symmetric, Scale::Test);
+        asymmetric.reset_stats();
+        let asym = kernel.run_timed(&asymmetric, Scale::Test);
+        assert_eq!(sym.checksum, asym.checksum, "runtimes must agree");
+        let stats = asymmetric.stats();
+        println!(
+            "{:>10} {:>12.1?} {:>12.1?} {:>7.3} {:>16}",
+            kernel.name(),
+            sym.elapsed,
+            asym.elapsed,
+            asym.elapsed.as_secs_f64() / sym.elapsed.as_secs_f64(),
+            stats.fences_avoided(),
+        );
+    }
+
+    // Show the full statistics of one asymmetric parallel run.
+    asymmetric.reset_stats();
+    let r = Kernel::Fib.run_timed(&asymmetric, Scale::Test);
+    let stats = asymmetric.stats();
+    println!("\nfib on the asymmetric runtime (checksum {:x}):", r.checksum);
+    println!("  {stats}");
+    println!(
+        "  every steal attempt serialized the victim remotely; the victim \
+         itself never executed a hardware fence."
+    );
+}

@@ -1,0 +1,172 @@
+//! End-to-end smoke of every experiment in the index (scaled down): each
+//! table/figure's pipeline runs and its headline *shape* holds.
+
+use lbmf_repro::cilk::bench::{Kernel, Scale};
+use lbmf_repro::cilk::Scheduler;
+use lbmf_repro::des::rw_sim::{simulate as rw_simulate, RwSimConfig, RwVariant};
+use lbmf_repro::des::steal_sim::{simulate as steal_simulate, StealSimConfig};
+use lbmf_repro::des::{SerializeKind, Task};
+use lbmf_repro::fences::prelude::*;
+use lbmf_repro::sim::prelude::*;
+use std::sync::Arc;
+
+/// E1 — serial Dekker slowdown band on the simulated machine.
+#[test]
+fn e1_dekker_slowdown_band() {
+    let cycles = |kind: FenceKind| {
+        let opt = DekkerOptions {
+            iters: 2_000,
+            cs_mem_ops: true,
+            cs_work: 4,
+        };
+        let cfg = MachineConfig {
+            record_trace: false,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg, CostModel::default(), dekker_serial(kind, opt));
+        assert!(m.run_pseudo_parallel(8, 10_000_000));
+        m.cpus[0].clock as f64
+    };
+    let slowdown = cycles(FenceKind::Mfence) / cycles(FenceKind::None);
+    assert!(
+        (3.0..=8.0).contains(&slowdown),
+        "mfence slowdown {slowdown:.2} outside the paper's band"
+    );
+    let lmfence_overhead = cycles(FenceKind::Lmfence) / cycles(FenceKind::None);
+    assert!(
+        lmfence_overhead < 2.0,
+        "l-mfence should be near-free when running alone, got {lmfence_overhead:.2}"
+    );
+}
+
+/// E2 — overhead ordering: signal >> membarrier > LE/ST model > mfence.
+#[test]
+fn e2_overhead_ordering() {
+    let costs = lbmf_repro::des::DesCosts::default();
+    let (sig, _) = costs.serialize(SerializeKind::Signal);
+    let (mb, _) = costs.serialize(SerializeKind::Membarrier);
+    let (lest, _) = costs.serialize(SerializeKind::LeSt);
+    assert!(sig > mb && mb > lest && lest > costs.mfence);
+    // And the real measured signal round trip is on the right order
+    // (microseconds, i.e. thousands of cycles).
+    let (tx, rx) = std::sync::mpsc::channel();
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let h = std::thread::spawn(move || {
+        let reg = register_current_thread();
+        tx.send(reg.remote()).unwrap();
+        done_rx.recv().unwrap();
+    });
+    let remote = rx.recv().unwrap();
+    let t0 = std::time::Instant::now();
+    for _ in 0..50 {
+        assert!(remote.serialize());
+    }
+    let per = t0.elapsed() / 50;
+    done_tx.send(()).unwrap();
+    h.join().unwrap();
+    assert!(
+        per.as_nanos() > 300,
+        "a signal round trip under 300ns is implausible: {per:?}"
+    );
+}
+
+/// E3 — all twelve kernels run and self-agree across runtimes.
+#[test]
+fn e3_all_kernels_runnable() {
+    let sym = Scheduler::new(2, Arc::new(Symmetric::new()));
+    let asym = Scheduler::new(2, Arc::new(SignalFence::new()));
+    for k in Kernel::all() {
+        let a = k.run_timed(&sym, Scale::Test);
+        let b = k.run_timed(&asym, Scale::Test);
+        assert_eq!(a.checksum, b.checksum, "{}", k.name());
+    }
+}
+
+/// E4 — the serial DES ratio is below 1 for the fence-dominated kernels.
+#[test]
+fn e4_serial_ratio_shape() {
+    for name in ["fib", "fibx"] {
+        let root = Task::benchmark_root(name).unwrap();
+        let sym = steal_simulate(root, &StealSimConfig::new(1, SerializeKind::Symmetric));
+        let asym = steal_simulate(root, &StealSimConfig::new(1, SerializeKind::Signal));
+        let ratio = asym.makespan as f64 / sym.makespan as f64;
+        assert!(ratio < 0.9, "{name}: serial ratio {ratio:.3} not clearly below 1");
+    }
+}
+
+/// E5 — 16-worker shape: fib benefits, the LE/ST column never loses badly,
+/// and the signal prototype hurts at least one low-conversion benchmark.
+#[test]
+fn e5_parallel_shape() {
+    let ratios = |name: &str| {
+        let root = Task::benchmark_root(name).unwrap();
+        let sym = steal_simulate(root, &StealSimConfig::new(16, SerializeKind::Symmetric));
+        let sig = steal_simulate(root, &StealSimConfig::new(16, SerializeKind::Signal));
+        let lest = steal_simulate(root, &StealSimConfig::new(16, SerializeKind::LeSt));
+        (
+            sig.makespan as f64 / sym.makespan as f64,
+            lest.makespan as f64 / sym.makespan as f64,
+            sig.conversion(),
+        )
+    };
+    let (fib_sig, fib_lest, fib_conv) = ratios("fib");
+    assert!(fib_sig < 0.8, "fib must benefit, got {fib_sig:.3}");
+    assert!(fib_lest <= fib_sig + 0.05);
+    assert!(fib_conv > 0.85, "fib conversion should be high: {fib_conv:.2}");
+
+    let (lu_sig, lu_lest, lu_conv) = ratios("lu");
+    assert!(lu_sig > 1.0, "lu should pay for poor conversion: {lu_sig:.3}");
+    assert!(lu_lest < lu_sig, "LE/ST must reduce lu's penalty");
+    assert!(lu_conv < 0.9, "lu conversion should be depressed: {lu_conv:.2}");
+}
+
+/// E6 — the ARW matrix has the paper's corners: wins at (1 thread, any
+/// ratio), loses at (16 threads, 300:1).
+#[test]
+fn e6_arw_corners() {
+    let tp = |threads: usize, ratio: u64, variant: RwVariant| {
+        let mut cfg = RwSimConfig::new(threads, ratio, variant);
+        cfg.reads_per_thread = 5_000;
+        rw_simulate(&cfg).read_throughput()
+    };
+    let arw = RwVariant::Arw { serialize: SerializeKind::Signal };
+    assert!(tp(1, 300, arw) > tp(1, 300, RwVariant::Srw));
+    assert!(tp(16, 300, arw) < tp(16, 300, RwVariant::Srw));
+    assert!(tp(2, 100_000, arw) > tp(2, 100_000, RwVariant::Srw));
+}
+
+/// E7 — ARW+ at the same corners: at or above SRW everywhere we probe.
+#[test]
+fn e7_arwplus_dominates() {
+    let tp = |threads: usize, ratio: u64, variant: RwVariant| {
+        let mut cfg = RwSimConfig::new(threads, ratio, variant);
+        cfg.reads_per_thread = 5_000;
+        rw_simulate(&cfg).read_throughput()
+    };
+    let plus = RwVariant::ArwPlus { serialize: SerializeKind::Signal, window: 20_000 };
+    for threads in [1usize, 2, 8, 16] {
+        for ratio in [300u64, 10_000] {
+            let p = tp(threads, ratio, plus);
+            let s = tp(threads, ratio, RwVariant::Srw);
+            assert!(
+                p >= 0.9 * s,
+                "ARW+ fell below SRW at ({threads} threads, {ratio}:1): {p:.1} vs {s:.1}"
+            );
+        }
+    }
+}
+
+/// T1/T2 — the model-checking verdicts, end to end through the facade.
+#[test]
+fn theorems_hold_via_facade() {
+    // Theorem 4's observable: l-mfence pairs forbid the relaxed SB outcome.
+    let m = Machine::for_checking(litmus_sb([FenceKind::Lmfence, FenceKind::Lmfence]));
+    let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[0], m.cpus[1].regs[0]));
+    assert!(!r.has_outcome(&(0, 0)));
+
+    // Theorem 7: asymmetric Dekker mutual exclusion.
+    let opt = DekkerOptions { iters: 1, cs_mem_ops: false, cs_work: 0 };
+    let m = Machine::for_checking(dekker_asymmetric(opt));
+    let r = Explorer::default().explore(m, |m| (m.cpus[0].regs[1], m.cpus[1].regs[1]));
+    assert_eq!(r.mutex_violations, 0);
+}
