@@ -6,7 +6,7 @@
 //! * the ARW+ waiting-heuristic spin window (the knob behind Fig 6(b));
 //! * deque pop strategy: the THE fast path versus an always-lock pop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbmf_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbmf_sim::prelude::*;
 use std::hint::black_box;
 
@@ -82,7 +82,7 @@ fn ablate_deque_pop(c: &mut Criterion) {
     });
     group.bench_function("always_lock_mutex", |b| {
         // The naive alternative to THE: every operation under a mutex.
-        let q = parking_lot::Mutex::new(Vec::<usize>::new());
+        let q = lbmf::sync::Mutex::new(Vec::<usize>::new());
         b.iter(|| {
             q.lock().push(black_box(8));
             black_box(q.lock().pop())

@@ -3,7 +3,7 @@
 //! `mfence`-class fence per entry; the location-based strategies pay a
 //! compiler fence only.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lbmf_bench::criterion::{criterion_group, criterion_main, Criterion};
 use lbmf::prelude::*;
 use std::hint::black_box;
 use std::sync::Arc;

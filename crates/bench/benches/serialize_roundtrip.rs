@@ -2,7 +2,7 @@
 //! trip per mechanism — the signal handshake of the paper's software
 //! prototype versus the `membarrier(2)` kernel-assisted fence.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lbmf_bench::criterion::{criterion_group, criterion_main, Criterion};
 use lbmf::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

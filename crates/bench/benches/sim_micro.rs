@@ -2,7 +2,7 @@
 //! stepping throughput, the LE/ST link-break path, and exhaustive litmus
 //! exploration (the model-checking workload behind T1/T2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lbmf_bench::criterion::{criterion_group, criterion_main, Criterion};
 use lbmf_sim::prelude::*;
 
 fn machine_step_throughput(c: &mut Criterion) {

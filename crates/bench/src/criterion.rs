@@ -1,0 +1,232 @@
+//! Minimal drop-in replacement for the slice of the `criterion` API the
+//! benches under `benches/` use. The hosts build offline, so the real
+//! `criterion` crate (a registry dependency) is unavailable; this module
+//! keeps the four bench binaries compiling and producing useful
+//! nanosecond-per-iteration numbers with no external dependencies.
+//!
+//! Protocol per benchmark: calibrate the iteration count by doubling until
+//! one batch exceeds the warm-up window, then time `SAMPLES` batches and
+//! report the minimum, mean, and maximum per-iteration cost (minimum is
+//! the robust statistic on a busy single-core host). Tune the measurement
+//! window with `LBMF_BENCH_MS` (milliseconds per batch, default 50).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed batches per benchmark.
+const SAMPLES: usize = 5;
+
+fn target_batch() -> Duration {
+    let ms = std::env::var("LBMF_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(50);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Entry point handed to each `criterion_group!` function.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target: target_batch(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_benchmark(self.target, &mut f);
+        println!("{}", report.render(name));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named family of related benchmarks (`group/id` naming, like criterion).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        self.c.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier within a group; only the `from_parameter` form is
+/// used in this repository.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new<P: Display>(function: &str, p: P) -> Self {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    iters: u64,
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+}
+
+impl Report {
+    fn render(&self, name: &str) -> String {
+        let per = |d: Duration| d.as_nanos() as f64 / self.iters.max(1) as f64;
+        format!(
+            "{name:<44} time: [{:>10.1} ns {:>10.1} ns {:>10.1} ns]  ({} iters/batch)",
+            per(self.min),
+            per(self.mean),
+            per(self.max),
+            self.iters
+        )
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(iters: u64, f: &mut F) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(target: Duration, f: &mut F) -> Report {
+    // Calibration: double the batch size until one batch fills the window.
+    let mut iters: u64 = 1;
+    loop {
+        let dt = run_once(iters, f);
+        if dt >= target || iters >= 1 << 30 {
+            break;
+        }
+        if dt < target / 16 {
+            iters = iters.saturating_mul(8);
+        } else {
+            iters = iters.saturating_mul(2);
+        }
+    }
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    for _ in 0..SAMPLES {
+        let dt = run_once(iters, f);
+        min = min.min(dt);
+        max = max.max(dt);
+        total += dt;
+    }
+    Report {
+        iters,
+        min,
+        mean: total / SAMPLES as u32,
+        max,
+    }
+}
+
+/// Build the group entry function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::criterion::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Build `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+// Re-export the macros under this module's path so bench files can write
+// `use lbmf_bench::criterion::{criterion_group, criterion_main, Criterion};`
+// — a one-line diff from the upstream `use criterion::{...}`.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut n = 0u64;
+        let dt = run_once(1000, &mut |b: &mut Bencher| {
+            b.iter(|| n += 1);
+        });
+        assert_eq!(n, 1000);
+        assert!(dt > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+    }
+
+    #[test]
+    fn report_renders_per_iter() {
+        let r = Report {
+            iters: 10,
+            min: Duration::from_nanos(100),
+            mean: Duration::from_nanos(200),
+            max: Duration::from_nanos(300),
+        };
+        let s = r.render("x");
+        assert!(s.contains("10.0 ns"), "{s}");
+        assert!(s.contains("30.0 ns"), "{s}");
+    }
+}

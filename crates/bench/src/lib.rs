@@ -3,6 +3,8 @@
 //! binary under `src/bin/`; see `EXPERIMENTS.md` at the repository root for
 //! the experiment index and the recorded outputs.
 
+pub mod criterion;
+
 use std::time::{Duration, Instant};
 
 /// Minimal flag parser: `--key value`, `--flag`, bare positionals ignored.

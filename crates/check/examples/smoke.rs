@@ -1,0 +1,87 @@
+//! CI smoke pass for the check harness (see `scripts/ci.sh`).
+//!
+//! Two quick runs, both bounded well under the 5-second CI cap:
+//!
+//! 1. a *proof*: bounded DFS (preemption bound 2) exhausts the schedule
+//!    space of the asymmetric Dekker lock under the symmetric strategy
+//!    without finding a mutual-exclusion violation;
+//! 2. a *negative control*: the same DFS must find the store-buffering
+//!    violation when the serialization side is removed (`NoFence`) —
+//!    proving the harness can actually see the bug class it exists for.
+//!
+//! Exits nonzero (via panic) if either direction fails.
+
+use lbmf::dekker::AsymmetricDekker;
+use lbmf::strategy::{FenceStrategy, NoFence, Symmetric};
+use lbmf_check::{Exec, Explorer, Shared};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn dekker_body<S, F>(mk: F) -> impl Fn(&Exec)
+where
+    S: FenceStrategy + Send + Sync + 'static,
+    F: Fn() -> S,
+{
+    move |exec| {
+        let dekker = Arc::new(AsymmetricDekker::new(Arc::new(mk())));
+        let witness = Arc::new(Shared::new(0u64));
+
+        let d = dekker.clone();
+        let w = witness.clone();
+        exec.spawn(move || {
+            let primary = d.register_primary();
+            let _g = primary.lock();
+            w.with_mut(|v| *v += 1);
+        });
+
+        let d = dekker.clone();
+        let w = witness.clone();
+        exec.spawn(move || {
+            let _g = d.secondary_lock();
+            w.with_mut(|v| *v += 10);
+        });
+
+        let w = witness.clone();
+        exec.validate(move || assert_eq!(w.read(), 11));
+    }
+}
+
+fn main() {
+    let start = Instant::now();
+
+    let t = Instant::now();
+    let safe = Explorer::dfs(2)
+        .seed_override(None)
+        .check("smoke-dekker-symmetric", dekker_body(Symmetric::new));
+    safe.assert_no_violation();
+    assert!(safe.exhausted, "DFS must exhaust the bounded space");
+    println!(
+        "PROOF      dekker/symmetric: {} schedules exhausted, no violation ({:?})",
+        safe.schedules_run,
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let buggy = Explorer::dfs(2)
+        .seed_override(None)
+        .check("smoke-dekker-nofence", dekker_body(NoFence::new));
+    let v = buggy.expect_violation();
+    assert!(
+        v.message.contains("mutual exclusion"),
+        "unexpected violation: {}",
+        v.message
+    );
+    println!(
+        "DETECTION  dekker/nofence: violation found in schedule {} ({} decisions, {:?})",
+        v.schedule_index,
+        v.choices.len(),
+        t.elapsed()
+    );
+
+    let total = start.elapsed();
+    println!("smoke pass ok in {total:?}");
+    assert!(
+        total.as_secs() < 5,
+        "smoke pass exceeded the 5s CI budget: {total:?}"
+    );
+}

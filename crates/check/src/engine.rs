@@ -1,0 +1,348 @@
+//! Exploration engines: who decides what happens at each scheduling point.
+//!
+//! Three ways to walk the schedule space, behind one interface:
+//!
+//! * [`Dfs`] — bounded depth-first enumeration. Replays the previous
+//!   schedule's decision prefix and takes the next unexplored branch at the
+//!   deepest open decision. With a preemption bound (enforced by the
+//!   scheduler, which filters the enabled set) this is the CHESS algorithm:
+//!   exhaustive within the bound, so a clean pass is a *proof* for the
+//!   modeled semantics.
+//! * [`Pct`] — probabilistic concurrency testing (Burckhardt et al.):
+//!   random thread priorities with `depth - 1` priority-change points.
+//!   Finds depth-`d` bugs with known probability; good diversity per
+//!   schedule.
+//! * [`RandomWalk`] — uniform choice at every decision point. The
+//!   baseline, and the cheapest way to smoke-test large state spaces.
+//!
+//! Plus [`Replay`], which re-executes a recorded decision sequence —
+//! the mechanism behind failure minimization and seed reproduction.
+//!
+//! All randomness comes from the in-repo `lbmf-prng` SplitMix64, keyed as
+//! `base_seed ^ (schedule_index * GOLDEN_GAMMA)`, so a seed printed in a
+//! failure report deterministically regenerates the same schedule
+//! sequence.
+
+use crate::sched::Action;
+use lbmf_prng::{Rng, SplitMix64};
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One engine = one exploration policy. The scheduler consults `choose`
+/// only at *real* decision points (two or more enabled actions); forced
+/// moves are taken silently, which keeps DFS decision stacks aligned
+/// across replays.
+pub(crate) trait EngineCore: Send {
+    /// Prepare the next schedule. `false` means the space is exhausted.
+    fn begin(&mut self) -> bool;
+    /// Pick an index into `enabled` (`enabled.len() >= 2`). `decider` is
+    /// the virtual thread that reached this point (`None` for the initial
+    /// decision, made before any thread has run).
+    fn choose(&mut self, enabled: &[Action], decider: Option<usize>) -> usize;
+    /// The schedule finished (normally or by violation).
+    fn end(&mut self);
+    /// Human-readable engine description for reports.
+    fn describe(&self) -> String;
+}
+
+// ---------------------------------------------------------------------
+// Bounded DFS
+// ---------------------------------------------------------------------
+
+struct Decision {
+    chosen: usize,
+    num: usize,
+}
+
+/// Depth-first enumeration of the decision tree.
+pub(crate) struct Dfs {
+    stack: Vec<Decision>,
+    cursor: usize,
+    started: bool,
+    preemption_bound: usize,
+}
+
+impl Dfs {
+    pub(crate) fn new(preemption_bound: usize) -> Self {
+        Dfs {
+            stack: Vec::new(),
+            cursor: 0,
+            started: false,
+            preemption_bound,
+        }
+    }
+}
+
+impl EngineCore for Dfs {
+    fn begin(&mut self) -> bool {
+        self.cursor = 0;
+        if !self.started {
+            self.started = true;
+            return true;
+        }
+        // Backtrack: drop exhausted suffix decisions, then advance the
+        // deepest decision that still has unexplored branches.
+        while let Some(last) = self.stack.last_mut() {
+            if last.chosen + 1 < last.num {
+                last.chosen += 1;
+                return true;
+            }
+            self.stack.pop();
+        }
+        false
+    }
+
+    fn choose(&mut self, enabled: &[Action], _decider: Option<usize>) -> usize {
+        let i = self.cursor;
+        self.cursor += 1;
+        if i < self.stack.len() {
+            // Replaying the prefix of the previous schedule. The enabled
+            // set must match — the model is deterministic in the choices.
+            assert_eq!(
+                self.stack[i].num,
+                enabled.len(),
+                "lbmf-check internal error: nondeterministic replay \
+                 (enabled-set size changed at decision {i})"
+            );
+            self.stack[i].chosen
+        } else {
+            self.stack.push(Decision {
+                chosen: 0,
+                num: enabled.len(),
+            });
+            0
+        }
+    }
+
+    fn end(&mut self) {
+        // Decisions beyond the cursor belong to a longer previous schedule
+        // whose prefix this one diverged from; they are stale.
+        self.stack.truncate(self.cursor);
+    }
+
+    fn describe(&self) -> String {
+        format!("dfs(preemption_bound={})", self.preemption_bound)
+    }
+}
+
+// ---------------------------------------------------------------------
+// PCT
+// ---------------------------------------------------------------------
+
+/// Probabilistic concurrency testing: random priorities, `depth - 1`
+/// priority-change points per schedule.
+pub(crate) struct Pct {
+    base_seed: u64,
+    depth: usize,
+    schedules: usize,
+    index: usize,
+    rng: SplitMix64,
+    /// Per-tid priorities (higher runs first); extended lazily.
+    priorities: Vec<u64>,
+    change_points: Vec<usize>,
+    steps: usize,
+    /// Horizon for change-point placement. Fixed (not adapted across
+    /// schedules) so a single derived seed fully determines a schedule —
+    /// the property `LBMF_CHECK_SEED` replay relies on.
+    est_len: usize,
+    next_demotion: u64,
+}
+
+impl Pct {
+    pub(crate) fn new(base_seed: u64, depth: usize, schedules: usize) -> Self {
+        Pct {
+            base_seed,
+            depth: depth.max(1),
+            schedules,
+            index: 0,
+            rng: SplitMix64::seed_from_u64(base_seed),
+            priorities: Vec::new(),
+            change_points: Vec::new(),
+            steps: 0,
+            est_len: 64,
+            next_demotion: 0,
+        }
+    }
+
+    fn priority_of(&mut self, tid: usize) -> u64 {
+        while self.priorities.len() <= tid {
+            self.priorities.push(1_000_000 + self.rng.bounded_u64(1_000_000));
+        }
+        self.priorities[tid]
+    }
+}
+
+impl EngineCore for Pct {
+    fn begin(&mut self) -> bool {
+        if self.index >= self.schedules {
+            return false;
+        }
+        self.rng = SplitMix64::seed_from_u64(
+            self.base_seed ^ (self.index as u64).wrapping_mul(GOLDEN_GAMMA),
+        );
+        self.priorities.clear();
+        self.change_points = (0..self.depth.saturating_sub(1))
+            .map(|_| self.rng.bounded_u64(self.est_len.max(1) as u64) as usize)
+            .collect();
+        self.steps = 0;
+        self.next_demotion = 1000;
+        true
+    }
+
+    fn choose(&mut self, enabled: &[Action], _decider: Option<usize>) -> usize {
+        self.steps += 1;
+        // Highest-priority enabled thread (steps preferred over commits —
+        // a commit is the memory system acting on a thread's behalf, so it
+        // inherits that thread's priority minus a half-step).
+        let score = |this: &mut Self, a: &Action| -> u64 {
+            match *a {
+                Action::Step(t) => this.priority_of(t) * 2 + 1,
+                Action::Commit(t) => this.priority_of(t) * 2,
+            }
+        };
+        if self.change_points.contains(&self.steps) {
+            // Demote the currently strongest enabled thread below everyone.
+            let strongest = enabled
+                .iter()
+                .map(|a| match *a {
+                    Action::Step(t) | Action::Commit(t) => t,
+                })
+                .max_by_key(|&t| self.priority_of(t));
+            if let Some(t) = strongest {
+                self.next_demotion = self.next_demotion.saturating_sub(1);
+                let p = self.next_demotion;
+                let _ = self.priority_of(t);
+                self.priorities[t] = p;
+            }
+        }
+        let mut best = 0;
+        let mut best_score = 0;
+        for (i, a) in enabled.iter().enumerate() {
+            let s = score(self, a);
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn end(&mut self) {
+        self.index += 1;
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "pct(seed={:#x}, depth={}, schedules={})",
+            self.base_seed, self.depth, self.schedules
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Uniform random walk
+// ---------------------------------------------------------------------
+
+/// Uniform random choice at every decision point.
+pub(crate) struct RandomWalk {
+    base_seed: u64,
+    schedules: usize,
+    index: usize,
+    rng: SplitMix64,
+}
+
+impl RandomWalk {
+    pub(crate) fn new(base_seed: u64, schedules: usize) -> Self {
+        RandomWalk {
+            base_seed,
+            schedules,
+            index: 0,
+            rng: SplitMix64::seed_from_u64(base_seed),
+        }
+    }
+}
+
+impl EngineCore for RandomWalk {
+    fn begin(&mut self) -> bool {
+        if self.index >= self.schedules {
+            return false;
+        }
+        self.rng = SplitMix64::seed_from_u64(
+            self.base_seed ^ (self.index as u64).wrapping_mul(GOLDEN_GAMMA),
+        );
+        true
+    }
+
+    fn choose(&mut self, enabled: &[Action], _decider: Option<usize>) -> usize {
+        self.rng.bounded_u64(enabled.len() as u64) as usize
+    }
+
+    fn end(&mut self) {
+        self.index += 1;
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "random(seed={:#x}, schedules={})",
+            self.base_seed, self.schedules
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------
+
+/// Re-execute a recorded decision sequence (one schedule). Decisions that
+/// no longer match the enabled set — e.g. after minimization removed an
+/// earlier one — fall back to "keep running the deciding thread", the
+/// least-preempting default.
+pub(crate) struct Replay {
+    script: Vec<Action>,
+    pos: usize,
+    ran: bool,
+}
+
+impl Replay {
+    pub(crate) fn new(script: Vec<Action>) -> Self {
+        Replay {
+            script,
+            pos: 0,
+            ran: false,
+        }
+    }
+}
+
+impl EngineCore for Replay {
+    fn begin(&mut self) -> bool {
+        if self.ran {
+            return false;
+        }
+        self.ran = true;
+        self.pos = 0;
+        true
+    }
+
+    fn choose(&mut self, enabled: &[Action], decider: Option<usize>) -> usize {
+        let recorded = self.script.get(self.pos).copied();
+        self.pos += 1;
+        if let Some(want) = recorded {
+            if let Some(i) = enabled.iter().position(|a| *a == want) {
+                return i;
+            }
+        }
+        // Fallback: prefer not to preempt.
+        if let Some(d) = decider {
+            if let Some(i) = enabled.iter().position(|a| *a == Action::Step(d)) {
+                return i;
+            }
+        }
+        0
+    }
+
+    fn end(&mut self) {}
+
+    fn describe(&self) -> String {
+        format!("replay({} decisions)", self.script.len())
+    }
+}

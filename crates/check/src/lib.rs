@@ -1,0 +1,545 @@
+//! lbmf-check: a loom-lite deterministic concurrency harness for the
+//! location-based memory fence implementation.
+//!
+//! The existing test suites exercise the *simulated* machine
+//! (`lbmf-sim`) exhaustively, but the real protocols in `lbmf` — the
+//! asymmetric Dekker lock, the ARW rwlock, the biased lock, the THE
+//! deque — were only stress-tested on real threads, where the
+//! interesting interleavings are rare and unreproducible. This crate
+//! checks *the implementation itself*: the production protocol code runs
+//! unmodified (compiled with `lbmf`'s `check-hooks` feature, which turns
+//! every shared-memory access and fence into an instrumented yield
+//! point), on real OS threads serialized by a controlled scheduler, over
+//! an explicit x86-TSO store-buffer model.
+//!
+//! Three exploration engines sit behind one [`Explorer`] API:
+//!
+//! * [`Explorer::dfs`] — bounded DFS with a preemption bound (CHESS).
+//!   A clean, `exhausted` pass is a proof for the modeled semantics.
+//! * [`Explorer::pct`] — PCT priority randomization (Burckhardt et al.).
+//! * [`Explorer::random_walk`] — uniform random schedules.
+//!
+//! Failures are minimized (greedy decision-dropping) and replayable: the
+//! report prints an `LBMF_CHECK_SEED=0x…` hint, and setting that
+//! environment variable reruns exactly the failing schedule.
+//!
+//! ```
+//! use lbmf_check::{AtomicCell, Explorer};
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! // Store-buffering litmus: without fences, TSO allows r0 = r1 = 0.
+//! let report = Explorer::dfs(2).check("sb", |exec| {
+//!     let x = Arc::new(AtomicCell::new(0));
+//!     let y = Arc::new(AtomicCell::new(0));
+//!     let r0 = Arc::new(AtomicU64::new(99));
+//!     let r1 = Arc::new(AtomicU64::new(99));
+//!     {
+//!         let (x, y, r0) = (x.clone(), y.clone(), r0.clone());
+//!         exec.spawn(move || {
+//!             x.store(1);
+//!             r0.store(y.load(), Ordering::SeqCst);
+//!         });
+//!     }
+//!     {
+//!         let (x, y, r1) = (x.clone(), y.clone(), r1.clone());
+//!         exec.spawn(move || {
+//!             y.store(1);
+//!             r1.store(x.load(), Ordering::SeqCst);
+//!         });
+//!     }
+//!     exec.validate(move || {
+//!         let (a, b) = (r0.load(Ordering::SeqCst), r1.load(Ordering::SeqCst));
+//!         assert!(!(a == 0 && b == 0), "store-buffering outcome observed");
+//!     });
+//! });
+//! report.expect_violation(); // the harness *finds* the reordering
+//! ```
+
+mod engine;
+mod sched;
+mod shim;
+
+pub use sched::{Action, Exec, ViolationKind};
+pub use shim::{fail, spin_yield, yield_now, AtomicCell, Shared};
+
+use engine::EngineCore;
+use sched::Config;
+use std::fmt;
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Which exploration policy an [`Explorer`] uses.
+#[derive(Copy, Clone, Debug)]
+enum Policy {
+    Dfs { preemption_bound: usize },
+    Pct { seed: u64, depth: usize, schedules: usize },
+    Random { seed: u64, schedules: usize },
+}
+
+/// Entry point: configure an exploration, then [`Explorer::check`] a body.
+#[derive(Clone, Debug)]
+pub struct Explorer {
+    policy: Policy,
+    max_steps: usize,
+    max_schedules: usize,
+    minimize: bool,
+    /// Set by tests to bypass the `LBMF_CHECK_SEED` environment lookup.
+    seed_override: Option<Option<u64>>,
+}
+
+impl Explorer {
+    fn new(policy: Policy) -> Self {
+        Explorer {
+            policy,
+            max_steps: 10_000,
+            max_schedules: 200_000,
+            minimize: true,
+            seed_override: None,
+        }
+    }
+
+    /// Bounded DFS: exhaustive enumeration of schedules with at most
+    /// `preemption_bound` preemptions (store-buffer commits are free).
+    pub fn dfs(preemption_bound: usize) -> Self {
+        Explorer::new(Policy::Dfs { preemption_bound })
+    }
+
+    /// PCT: `schedules` random-priority schedules targeting bugs of depth
+    /// `depth`, seeded by `seed`.
+    pub fn pct(seed: u64, depth: usize, schedules: usize) -> Self {
+        Explorer::new(Policy::Pct { seed, depth, schedules })
+    }
+
+    /// Uniform random walk over `schedules` schedules, seeded by `seed`.
+    pub fn random_walk(seed: u64, schedules: usize) -> Self {
+        Explorer::new(Policy::Random { seed, schedules })
+    }
+
+    /// Per-schedule step budget (exceeding it reports a livelock).
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Hard cap on schedules run, whatever the policy asks for.
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Disable greedy failure minimization (keep the first failing
+    /// schedule verbatim).
+    pub fn minimize(mut self, on: bool) -> Self {
+        self.minimize = on;
+        self
+    }
+
+    /// Force a specific replay seed, as if `LBMF_CHECK_SEED` were set to
+    /// `seed` (`Some`) or explicitly unset (`None`). For tests that must
+    /// not depend on ambient process environment.
+    pub fn seed_override(mut self, seed: Option<u64>) -> Self {
+        self.seed_override = Some(seed);
+        self
+    }
+
+    fn effective_policy(&self) -> Policy {
+        let env_seed = match self.seed_override {
+            Some(s) => s,
+            None => std::env::var("LBMF_CHECK_SEED")
+                .ok()
+                .and_then(|s| parse_seed(&s)),
+        };
+        match (env_seed, self.policy) {
+            // Seed replay: run exactly one schedule with the derived seed.
+            (Some(seed), Policy::Pct { depth, .. }) => Policy::Pct { seed, depth, schedules: 1 },
+            (Some(seed), Policy::Random { .. }) => Policy::Random { seed, schedules: 1 },
+            // DFS is already deterministic; a seed changes nothing.
+            (_, p) => p,
+        }
+    }
+
+    fn build_engine(policy: Policy) -> Box<dyn EngineCore> {
+        match policy {
+            Policy::Dfs { preemption_bound } => Box::new(engine::Dfs::new(preemption_bound)),
+            Policy::Pct { seed, depth, schedules } => {
+                Box::new(engine::Pct::new(seed, depth, schedules))
+            }
+            Policy::Random { seed, schedules } => Box::new(engine::RandomWalk::new(seed, schedules)),
+        }
+    }
+
+    /// Explore `body`'s schedules. The body is invoked once per schedule;
+    /// it spawns virtual threads with [`Exec::spawn`] and may register a
+    /// post-schedule invariant with [`Exec::validate`].
+    pub fn check<F: Fn(&Exec)>(&self, name: &str, body: F) -> Report {
+        let policy = self.effective_policy();
+        let cfg = Config {
+            max_steps: self.max_steps,
+            preemption_bound: match policy {
+                Policy::Dfs { preemption_bound } => Some(preemption_bound),
+                _ => None,
+            },
+        };
+        let mut engine = Self::build_engine(policy);
+        let body_ref: &dyn Fn(&Exec) = &body;
+        let mut schedules_run = 0usize;
+        let mut exhausted = false;
+        let mut violation: Option<Violation> = None;
+
+        let debug = std::env::var_os("LBMF_CHECK_DEBUG").is_some();
+        while schedules_run < self.max_schedules {
+            if !engine.begin() {
+                exhausted = true;
+                break;
+            }
+            if debug && schedules_run % 1000 == 0 {
+                eprintln!("lbmf-check '{name}': {schedules_run} schedules...");
+            }
+            let (e, outcome) = sched::run_schedule(engine, cfg, body_ref);
+            engine = e;
+            engine.end();
+            let index = schedules_run;
+            schedules_run += 1;
+            if let Some((kind, message)) = outcome.violation {
+                let seed = match policy {
+                    Policy::Dfs { .. } => None,
+                    Policy::Pct { seed, .. } | Policy::Random { seed, .. } => {
+                        Some(seed ^ (index as u64).wrapping_mul(GOLDEN_GAMMA))
+                    }
+                };
+                let mut v = Violation {
+                    kind,
+                    message,
+                    trace: outcome.trace,
+                    choices: outcome.choices,
+                    schedule_index: index,
+                    seed,
+                };
+                if self.minimize {
+                    minimize_violation(&mut v, cfg, body_ref);
+                }
+                violation = Some(v);
+                break;
+            }
+        }
+
+        Report {
+            name: name.to_string(),
+            engine: engine.describe(),
+            schedules_run,
+            exhausted,
+            violation,
+        }
+    }
+}
+
+/// Parse an `LBMF_CHECK_SEED` value: decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Greedy failure minimization: try dropping each recorded decision in
+/// turn; keep any shorter schedule that still produces the same kind of
+/// violation.
+fn minimize_violation(v: &mut Violation, cfg: Config, body: &dyn Fn(&Exec)) {
+    const MAX_REPLAYS: usize = 200;
+    let mut replays = 0;
+    let mut i = 0;
+    while i < v.choices.len() && replays < MAX_REPLAYS {
+        let mut candidate = v.choices.clone();
+        candidate.remove(i);
+        let (_, outcome) =
+            sched::run_schedule(Box::new(engine::Replay::new(candidate)), cfg, body);
+        replays += 1;
+        match outcome.violation {
+            Some((kind, message))
+                if kind == v.kind && outcome.choices.len() < v.choices.len() =>
+            {
+                v.choices = outcome.choices;
+                v.trace = outcome.trace;
+                v.message = message;
+                // Retry the same position: it now names a different decision.
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// A failing schedule, minimized and replayable.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    pub message: String,
+    /// Deterministic, address-free event trace of the failing schedule.
+    pub trace: String,
+    /// The decision sequence (only true decision points are recorded).
+    pub choices: Vec<Action>,
+    /// Which schedule (0-based) of the exploration failed.
+    pub schedule_index: usize,
+    /// For randomized engines: the derived seed that regenerates exactly
+    /// this schedule via `LBMF_CHECK_SEED`.
+    pub seed: Option<u64>,
+}
+
+/// The result of an [`Explorer::check`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub name: String,
+    pub engine: String,
+    pub schedules_run: usize,
+    /// The engine exhausted its schedule space (for DFS: every schedule
+    /// within the preemption bound was executed — a proof, not a sample).
+    pub exhausted: bool,
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    pub fn ok(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// Panic with the full failure report if a violation was found.
+    pub fn assert_no_violation(&self) {
+        if self.violation.is_some() {
+            panic!("{self}");
+        }
+    }
+
+    /// Panic if *no* violation was found (negative controls: the harness
+    /// must be able to see the bug). Returns the violation otherwise.
+    pub fn expect_violation(&self) -> &Violation {
+        match &self.violation {
+            Some(v) => v,
+            None => panic!(
+                "lbmf-check '{}': expected a violation but {} schedules passed ({})",
+                self.name, self.schedules_run, self.engine
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "lbmf-check '{}' [{}]: {} schedule(s){}",
+            self.name,
+            self.engine,
+            self.schedules_run,
+            if self.exhausted { ", space exhausted" } else { "" }
+        )?;
+        match &self.violation {
+            None => write!(f, "  no violation found"),
+            Some(v) => {
+                writeln!(f, "  VIOLATION ({:?}) in schedule {}: {}", v.kind, v.schedule_index, v.message)?;
+                if let Some(seed) = v.seed {
+                    writeln!(
+                        f,
+                        "  reproduce with: LBMF_CHECK_SEED={seed:#x} cargo test -- {}",
+                        self.name
+                    )?;
+                }
+                writeln!(f, "  failing schedule ({} decisions):", v.choices.len())?;
+                write!(f, "{}", v.trace)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Store-buffering litmus body: returns the body closure plus the
+    /// fence choice; validate fails on the forbidden (0, 0) outcome.
+    fn sb_body(fenced: bool) -> impl Fn(&Exec) {
+        move |exec: &Exec| {
+            let x = Arc::new(AtomicCell::new(0));
+            let y = Arc::new(AtomicCell::new(0));
+            let r0 = Arc::new(AtomicU64::new(99));
+            let r1 = Arc::new(AtomicU64::new(99));
+            {
+                let (x, y, r0) = (x.clone(), y.clone(), r0.clone());
+                exec.spawn(move || {
+                    x.store(1);
+                    if fenced {
+                        AtomicCell::fence();
+                    }
+                    r0.store(y.load(), Ordering::SeqCst);
+                });
+            }
+            {
+                let (x, y, r1) = (x.clone(), y.clone(), r1.clone());
+                exec.spawn(move || {
+                    y.store(1);
+                    if fenced {
+                        AtomicCell::fence();
+                    }
+                    r1.store(x.load(), Ordering::SeqCst);
+                });
+            }
+            exec.validate(move || {
+                let (a, b) = (r0.load(Ordering::SeqCst), r1.load(Ordering::SeqCst));
+                assert!(!(a == 0 && b == 0), "forbidden SB outcome r0=0 r1=0");
+            });
+        }
+    }
+
+    #[test]
+    fn dfs_finds_store_buffering_without_fences() {
+        let report = Explorer::dfs(2)
+            .seed_override(None)
+            .check("sb-unfenced", sb_body(false));
+        let v = report.expect_violation();
+        assert_eq!(v.kind, ViolationKind::Assertion);
+        assert!(v.trace.contains("buffered"), "trace shows buffering:\n{}", v.trace);
+    }
+
+    #[test]
+    fn dfs_proves_store_buffering_impossible_with_fences() {
+        let report = Explorer::dfs(2)
+            .seed_override(None)
+            .check("sb-fenced", sb_body(true));
+        report.assert_no_violation();
+        assert!(report.exhausted, "DFS must exhaust the bounded space");
+        assert!(report.schedules_run > 1);
+    }
+
+    #[test]
+    fn random_walk_finds_store_buffering() {
+        let report = Explorer::random_walk(42, 500)
+            .seed_override(None)
+            .check("sb-random", sb_body(false));
+        let v = report.expect_violation();
+        assert!(v.seed.is_some(), "randomized engines report a replay seed");
+    }
+
+    #[test]
+    fn pct_finds_store_buffering_and_seed_replays_identically() {
+        let run = || {
+            Explorer::pct(7, 3, 500)
+                .seed_override(None)
+                .check("sb-pct", sb_body(false))
+        };
+        let a = run();
+        let b = run();
+        let va = a.expect_violation();
+        let vb = b.expect_violation();
+        assert_eq!(va.trace, vb.trace, "same seed => byte-identical trace");
+        assert_eq!(va.seed, vb.seed);
+
+        // Replaying via the derived seed reproduces the same interleaving
+        // in schedule 0.
+        let replay = Explorer::pct(999_999, 3, 500)
+            .seed_override(Some(va.seed.unwrap()))
+            .check("sb-pct", sb_body(false));
+        let vr = replay.expect_violation();
+        assert_eq!(vr.trace, va.trace, "seed replay reproduces the trace");
+        assert_eq!(replay.schedules_run, 1, "seed replay runs exactly one schedule");
+    }
+
+    #[test]
+    fn shared_detects_overlapping_critical_sections() {
+        let report = Explorer::dfs(2).seed_override(None).check("shared-overlap", |exec| {
+            let s = Arc::new(Shared::new(0u64));
+            for _ in 0..2 {
+                let s = s.clone();
+                exec.spawn(move || {
+                    s.with_mut(|v| *v += 1);
+                });
+            }
+        });
+        let v = report.expect_violation();
+        assert_eq!(v.kind, ViolationKind::Assertion);
+        assert!(v.message.contains("mutual exclusion"), "{}", v.message);
+    }
+
+    #[test]
+    fn shared_is_quiet_when_sections_cannot_overlap() {
+        // A single thread can never overlap with itself.
+        let report = Explorer::dfs(2).seed_override(None).check("shared-solo", |exec| {
+            let s = Arc::new(Shared::new(0u64));
+            let s2 = s.clone();
+            exec.spawn(move || {
+                s2.with_mut(|v| *v += 1);
+                s2.with_mut(|v| *v += 1);
+            });
+            let s3 = s.clone();
+            exec.validate(move || assert_eq!(s3.read(), 2));
+        });
+        report.assert_no_violation();
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn livelock_is_reported() {
+        let report = Explorer::dfs(0)
+            .seed_override(None)
+            .max_steps(200)
+            .check("spin-forever", |exec| {
+                let flag = Arc::new(AtomicCell::new(0));
+                let f = flag.clone();
+                exec.spawn(move || {
+                    while f.load() == 0 {
+                        spin_yield();
+                    }
+                });
+            });
+        let v = report.expect_violation();
+        assert_eq!(v.kind, ViolationKind::Livelock);
+    }
+
+    #[test]
+    fn panic_in_body_is_reported_with_message() {
+        let report = Explorer::dfs(0).seed_override(None).check("panicky", |exec| {
+            exec.spawn(|| panic!("boom-{}", 7));
+        });
+        let v = report.expect_violation();
+        assert_eq!(v.kind, ViolationKind::Panic);
+        assert!(v.message.contains("boom-7"), "{}", v.message);
+    }
+
+    #[test]
+    fn empty_execution_is_ok() {
+        let report = Explorer::dfs(2).seed_override(None).check("empty", |_exec| {});
+        report.assert_no_violation();
+        assert!(report.exhausted);
+        assert_eq!(report.schedules_run, 1);
+    }
+
+    #[test]
+    fn parse_seed_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2a"), Some(42));
+        assert_eq!(parse_seed("0X2A"), Some(42));
+        assert_eq!(parse_seed(" 7 "), Some(7));
+        assert_eq!(parse_seed("zzz"), None);
+    }
+
+    #[test]
+    fn minimization_shrinks_the_failing_schedule() {
+        let full = Explorer::dfs(2)
+            .seed_override(None)
+            .minimize(false)
+            .check("sb-raw", sb_body(false));
+        let minimized = Explorer::dfs(2)
+            .seed_override(None)
+            .check("sb-min", sb_body(false));
+        let vf = full.expect_violation();
+        let vm = minimized.expect_violation();
+        assert!(
+            vm.choices.len() <= vf.choices.len(),
+            "minimized ({}) must not exceed raw ({})",
+            vm.choices.len(),
+            vf.choices.len()
+        );
+    }
+}

@@ -1,0 +1,746 @@
+//! The controlled scheduler and TSO store-buffer model.
+//!
+//! Each [`Exec::spawn`]ed closure runs on a real OS thread, but only one
+//! runs at a time: every instrumented operation (routed here through
+//! `lbmf::hooks`) is a *yield point* where the thread parks and the
+//! exploration engine picks what happens next. The enabled actions at a
+//! decision point are
+//!
+//! * `Step(t)` — let virtual thread `t` execute its pending operation, and
+//! * `Commit(t)` — drain the oldest entry of `t`'s modeled store buffer
+//!   into the real atomic (the memory system acting asynchronously, which
+//!   is exactly the TSO reordering the paper's fences exist to tame).
+//!
+//! The store-buffer model implements x86-TSO as the protocols assume it:
+//! stores append to the issuing thread's FIFO buffer; loads forward from
+//! the newest matching own-buffer entry, else read the committed value;
+//! a full fence drains the issuer's buffer; a remote serialization
+//! ([`lbmf::registry::RemoteThread::serialize`] under a harness) drains the
+//! *target's* buffer — the paper's "T2 enforces the fence onto T1".
+//!
+//! Violations — a [`crate::Shared`] exclusivity failure, a panicking
+//! assertion in a body, a deadlock, or a runaway schedule — abort the
+//! schedule: buffers are flushed, parked threads are unwound at their
+//! next yield point, and the recorded trace is returned for replay.
+
+use crate::engine::EngineCore;
+use lbmf::hooks::{self, Loc, VtHooks, YieldKind};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Cap on recorded trace lines (schedules are step-bounded anyway; this
+/// just keeps pathological failure reports readable).
+const MAX_TRACE_LINES: usize = 5_000;
+
+/// One scheduler action, as recorded in decision sequences.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Let virtual thread `tid` execute its pending operation.
+    Step(usize),
+    /// Commit the oldest store-buffer entry of virtual thread `tid`.
+    Commit(usize),
+}
+
+/// What went wrong in a failing schedule.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A harness-level check failed ([`crate::Shared`] exclusivity,
+    /// [`crate::fail`], or a `validate` closure).
+    Assertion,
+    /// A virtual thread's body panicked.
+    Panic,
+    /// No enabled action remained with threads still unfinished.
+    Deadlock,
+    /// The schedule exceeded its step budget (unbounded spinning).
+    Livelock,
+}
+
+/// A virtual thread's pending operation, parked at a yield point.
+#[derive(Copy, Clone, Debug)]
+enum Op {
+    Start,
+    Store(Loc, u64),
+    Load(Loc),
+    Fence,
+    Yield(YieldKind),
+    Spin,
+    Serialize(usize),
+}
+
+/// Result of one schedule execution.
+pub(crate) struct Outcome {
+    pub violation: Option<(ViolationKind, String)>,
+    pub choices: Vec<Action>,
+    pub trace: String,
+}
+
+/// Per-schedule limits, set by the [`crate::Explorer`].
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct Config {
+    pub max_steps: usize,
+    pub preemption_bound: Option<usize>,
+}
+
+struct Vt {
+    pending: Option<Op>,
+    finished: bool,
+    /// `Some(mark)` after a spin-yield, where `mark` was the global commit
+    /// count at that moment: the spinner is disabled until another store
+    /// commits. A spinning thread's observations can change *only* when a
+    /// commit lands (its own re-reads and other threads' loads cannot
+    /// affect what it sees), so rescheduling it any earlier just starves
+    /// the actions that could unblock it.
+    yielded_at: Option<u64>,
+    /// Modeled TSO store buffer: FIFO of (location key, handle, value).
+    buffer: VecDeque<(usize, Loc, u64)>,
+}
+
+impl Vt {
+    fn new() -> Self {
+        Vt {
+            pending: None,
+            finished: false,
+            yielded_at: None,
+            buffer: VecDeque::new(),
+        }
+    }
+}
+
+struct State {
+    threads: Vec<Vt>,
+    /// The initial decision has been made; new spawns are rejected.
+    started: bool,
+    /// Virtual threads parked at their initial `Start` op.
+    arrivals: usize,
+    /// The thread currently allowed to execute its pending op.
+    granted: Option<usize>,
+    abort: bool,
+    done: bool,
+    violation: Option<(ViolationKind, String)>,
+    trace: Vec<String>,
+    choices: Vec<Action>,
+    steps: usize,
+    preemptions: usize,
+    /// Total committed stores (the spin-gate clock).
+    commits: u64,
+    cfg: Config,
+    /// Stable small ids for shared locations, by first appearance — keeps
+    /// traces byte-identical across runs despite ASLR.
+    loc_ids: HashMap<usize, usize>,
+    /// `ThreadSlot` key (from `register_current_thread`) → virtual tid.
+    slot_to_tid: HashMap<usize, usize>,
+    engine: Option<Box<dyn EngineCore>>,
+}
+
+// SAFETY: `State` is not auto-Send because buffered `Loc` handles hold raw
+// pointers. The harness guarantees the pointed-to atomics outlive every
+// schedule: they live in the test body's `Arc`s, all virtual threads are
+// joined (and buffers flushed on abort) before those are dropped, and the
+// pointers are only dereferenced through `Loc::commit`/`committed_load`
+// while a schedule is live.
+unsafe impl Send for State {}
+
+pub(crate) struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// Sentinel panic payload used to unwind a virtual thread's body after the
+/// schedule has been aborted (not itself a new violation).
+pub(crate) struct AbortSchedule;
+
+/// Keep routine `AbortSchedule` unwinds out of stderr: they are control
+/// flow, not failures. Installed once, delegating everything else to the
+/// previous hook.
+fn install_quiet_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<AbortSchedule>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl Inner {
+    fn trace_push(st: &mut State, line: String) {
+        match st.trace.len().cmp(&MAX_TRACE_LINES) {
+            std::cmp::Ordering::Less => st.trace.push(line),
+            std::cmp::Ordering::Equal => st.trace.push("... (trace truncated)".into()),
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+
+    fn loc_label(st: &mut State, loc: Loc) -> String {
+        let next = st.loc_ids.len();
+        let id = *st.loc_ids.entry(loc.key()).or_insert(next);
+        format!("L{id}")
+    }
+
+    /// Record a violation (first wins), flush every modeled buffer, and
+    /// wake all parked threads so they unwind at their yield points.
+    fn abort_with(&self, st: &mut State, kind: ViolationKind, msg: String) {
+        if st.violation.is_none() {
+            Self::trace_push(st, format!("!! violation ({kind:?}): {msg}"));
+            st.violation = Some((kind, msg));
+        }
+        for t in 0..st.threads.len() {
+            while let Some((_, loc, v)) = st.threads[t].buffer.pop_front() {
+                // SAFETY: schedule is live; see the `State` Send rationale.
+                unsafe { loc.commit(v) };
+            }
+        }
+        st.abort = true;
+        st.granted = None;
+        self.cv.notify_all();
+    }
+
+    /// The enabled actions, in deterministic order (steps by tid, then
+    /// commits by tid).
+    ///
+    /// Commit reduction: the moment a buffered store commits is only
+    /// observable through *another* thread's load of that location — the
+    /// owner forwards from its own buffer, and fences/serializations
+    /// drain unconditionally. So `Commit(t)` is offered only while some
+    /// other thread is parked on a load of a location in `t`'s buffer
+    /// (every remaining buffer is drained deterministically at schedule
+    /// end). This prunes the schedule space massively without losing any
+    /// observable behavior.
+    fn enabled(st: &State) -> Vec<Action> {
+        let mut acts = Vec::new();
+        for (t, vt) in st.threads.iter().enumerate() {
+            if vt.finished || vt.pending.is_none() {
+                continue;
+            }
+            if let Some(mark) = vt.yielded_at {
+                if st.commits <= mark {
+                    continue;
+                }
+            }
+            acts.push(Action::Step(t));
+        }
+        for (t, vt) in st.threads.iter().enumerate() {
+            if vt.buffer.is_empty() {
+                continue;
+            }
+            let observable = st.threads.iter().enumerate().any(|(u, other)| {
+                u != t
+                    && !other.finished
+                    && matches!(other.pending, Some(Op::Load(l))
+                        if vt.buffer.iter().any(|e| e.0 == l.key()))
+            });
+            if observable {
+                acts.push(Action::Commit(t));
+            }
+        }
+        acts
+    }
+
+    /// Make scheduling decisions until a thread is granted (or the
+    /// schedule ends). Called by the thread that just arrived at a yield
+    /// point (`decider`), or by the main thread for the initial decision
+    /// (`decider == None`).
+    fn decide_from(&self, st: &mut State, decider: Option<usize>) {
+        loop {
+            if st.abort {
+                return;
+            }
+            let mut acts = Self::enabled(st);
+            if acts.is_empty() {
+                if st.threads.iter().all(|t| t.finished) {
+                    // Drain leftover buffers (tid order, deterministic) so
+                    // the validate closure reads the final committed state.
+                    for t in 0..st.threads.len() {
+                        Self::drain(st, t);
+                    }
+                    st.done = true;
+                    self.cv.notify_all();
+                    return;
+                }
+                // Everything runnable is spin-blocked. If stores are still
+                // buffered, drain them all (deterministically, tid order):
+                // fresh committed values are the only thing that can wake a
+                // spinner, and offering the drains as choices would let DFS
+                // walk unfair starvation branches forever.
+                if st.threads.iter().any(|t| !t.buffer.is_empty()) {
+                    for t in 0..st.threads.len() {
+                        let n = Self::drain(st, t);
+                        if n > 0 {
+                            Self::trace_push(
+                                st,
+                                format!("memory: forced drain T{t} ({n} stores)"),
+                            );
+                        }
+                    }
+                    continue;
+                }
+                // Nothing buffered either: let the spinners spin (bounded
+                // spins like the ARW+ window will exhaust their budget and
+                // move on; a true livelock hits the step budget and is
+                // reported).
+                let any_spinner = st
+                    .threads
+                    .iter()
+                    .any(|t| !t.finished && t.pending.is_some() && t.yielded_at.is_some());
+                if any_spinner {
+                    for t in st.threads.iter_mut() {
+                        t.yielded_at = None;
+                    }
+                    continue;
+                }
+                let waiting: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.finished)
+                    .map(|(i, t)| format!("T{i} ({:?})", t.pending))
+                    .collect();
+                self.abort_with(
+                    st,
+                    ViolationKind::Deadlock,
+                    format!("no enabled action; unfinished: {}", waiting.join(", ")),
+                );
+                return;
+            }
+            // Preemption bounding: once the budget is spent, a thread that
+            // can continue must continue (commits stay allowed — they are
+            // the memory system, not a context switch).
+            if let (Some(bound), Some(d)) = (st.cfg.preemption_bound, decider) {
+                if st.preemptions >= bound && acts.contains(&Action::Step(d)) {
+                    acts.retain(|a| !matches!(*a, Action::Step(t) if t != d));
+                }
+            }
+            let choice = if acts.len() == 1 {
+                acts[0]
+            } else {
+                let engine = st.engine.as_mut().expect("engine present during schedule");
+                let idx = engine.choose(&acts, decider);
+                assert!(idx < acts.len(), "engine chose out of range");
+                let c = acts[idx];
+                st.choices.push(c);
+                c
+            };
+            match choice {
+                Action::Commit(t) => {
+                    let (_, loc, v) = st.threads[t]
+                        .buffer
+                        .pop_front()
+                        .expect("commit of empty buffer");
+                    // SAFETY: schedule is live; see `State` Send rationale.
+                    unsafe { loc.commit(v) };
+                    st.commits += 1;
+                    st.steps += 1;
+                    let l = Self::loc_label(st, loc);
+                    Self::trace_push(st, format!("memory: commit T{t} {l} = {v}"));
+                    if st.steps > st.cfg.max_steps {
+                        self.abort_with(
+                            st,
+                            ViolationKind::Livelock,
+                            format!("schedule exceeded {} steps", st.cfg.max_steps),
+                        );
+                        return;
+                    }
+                }
+                Action::Step(u) => {
+                    if let Some(d) = decider {
+                        if u != d && acts.contains(&Action::Step(d)) {
+                            st.preemptions += 1;
+                        }
+                    }
+                    st.granted = Some(u);
+                    self.cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Execute `tid`'s pending operation. Returns the load result (0 for
+    /// non-loads).
+    fn execute(&self, st: &mut State, tid: usize) -> u64 {
+        let op = st.threads[tid]
+            .pending
+            .take()
+            .expect("granted thread has a pending op");
+        st.threads[tid].yielded_at = None;
+        st.steps += 1;
+        let val = match op {
+            Op::Start => {
+                Self::trace_push(st, format!("T{tid}: start"));
+                0
+            }
+            Op::Store(loc, v) => {
+                st.threads[tid].buffer.push_back((loc.key(), loc, v));
+                let l = Self::loc_label(st, loc);
+                Self::trace_push(st, format!("T{tid}: store {l} <- {v} (buffered)"));
+                0
+            }
+            Op::Load(loc) => {
+                let key = loc.key();
+                let fwd = st.threads[tid]
+                    .buffer
+                    .iter()
+                    .rev()
+                    .find(|e| e.0 == key)
+                    .map(|e| e.2);
+                // SAFETY: schedule is live; see `State` Send rationale.
+                let v = fwd.unwrap_or_else(|| unsafe { loc.committed_load() });
+                let l = Self::loc_label(st, loc);
+                let tag = if fwd.is_some() { " (forwarded)" } else { "" };
+                Self::trace_push(st, format!("T{tid}: load {l} -> {v}{tag}"));
+                v
+            }
+            Op::Fence => {
+                let n = Self::drain(st, tid);
+                Self::trace_push(st, format!("T{tid}: fence (drained {n})"));
+                0
+            }
+            Op::Yield(kind) => {
+                Self::trace_push(st, format!("T{tid}: yield ({kind:?})"));
+                0
+            }
+            Op::Spin => {
+                Self::trace_push(st, format!("T{tid}: spin"));
+                0
+            }
+            Op::Serialize(slot) => {
+                match st.slot_to_tid.get(&slot).copied() {
+                    Some(target) => {
+                        let n = Self::drain(st, target);
+                        Self::trace_push(
+                            st,
+                            format!("T{tid}: serialize T{target} (drained {n})"),
+                        );
+                    }
+                    None => {
+                        // A registration made outside this execution (or on
+                        // the setup thread): nothing modeled to drain.
+                        Self::trace_push(st, format!("T{tid}: serialize <external> (no-op)"));
+                    }
+                }
+                0
+            }
+        };
+        if st.steps > st.cfg.max_steps {
+            self.abort_with(
+                st,
+                ViolationKind::Livelock,
+                format!("schedule exceeded {} steps", st.cfg.max_steps),
+            );
+        }
+        val
+    }
+
+    /// Drain thread `t`'s modeled buffer in FIFO order.
+    fn drain(st: &mut State, t: usize) -> usize {
+        let mut n = 0;
+        while let Some((_, loc, v)) = st.threads[t].buffer.pop_front() {
+            // SAFETY: schedule is live; see `State` Send rationale.
+            unsafe { loc.commit(v) };
+            n += 1;
+        }
+        st.commits += n as u64;
+        n
+    }
+}
+
+/// Direct execution against the real atomics, used only once a schedule
+/// has aborted and the thread is unwinding: destructors (lock guards)
+/// still perform instrumented stores, and panicking inside a panic would
+/// abort the process. The buffers were flushed by `abort_with`, so
+/// committing directly is consistent.
+fn direct_exec(op: Op) -> u64 {
+    match op {
+        // SAFETY: schedule was live moments ago and the bodies still hold
+        // their Arcs; see the `State` Send rationale.
+        Op::Store(loc, v) => {
+            unsafe { loc.commit(v) };
+            0
+        }
+        Op::Load(loc) => unsafe { loc.committed_load() },
+        _ => 0,
+    }
+}
+
+/// The per-virtual-thread hook installation: routes every instrumented
+/// operation of `lbmf` core (and anything built on it) into the scheduler.
+pub(crate) struct ThreadHooks {
+    pub(crate) inner: Arc<Inner>,
+    pub(crate) tid: usize,
+}
+
+impl ThreadHooks {
+    /// Park at a yield point with `op` pending; returns the op's value
+    /// once the engine schedules it.
+    fn reach(&self, op: Op) -> u64 {
+        let inner = &*self.inner;
+        let mut st = inner.state.lock().unwrap();
+        if st.abort {
+            // The schedule is over: unwind this body (caught in `spawn`).
+            // Free-running instead would hang on loops that wait for
+            // stores that will now never happen. If we are *already*
+            // unwinding, this is a destructor's operation — execute it
+            // directly, a second panic would abort the process.
+            drop(st);
+            if std::thread::panicking() {
+                return direct_exec(op);
+            }
+            std::panic::panic_any(AbortSchedule);
+        }
+        let tid = self.tid;
+        st.threads[tid].pending = Some(op);
+        if matches!(op, Op::Spin) {
+            st.threads[tid].yielded_at = Some(st.commits);
+        }
+        if !st.started {
+            // Initial arrival: the main thread makes the first decision
+            // once every spawned thread is parked here.
+            st.arrivals += 1;
+            inner.cv.notify_all();
+        } else {
+            // This thread was the one running: it decides what's next.
+            inner.decide_from(&mut st, Some(tid));
+        }
+        loop {
+            if st.abort {
+                st.threads[tid].pending = None;
+                drop(st);
+                if std::thread::panicking() {
+                    return direct_exec(op);
+                }
+                std::panic::panic_any(AbortSchedule);
+            }
+            if st.granted == Some(tid) {
+                st.granted = None;
+                return inner.execute(&mut st, tid);
+            }
+            st = inner.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Body finished (normally or after unwinding): mark the thread done
+    /// and hand the decision on.
+    fn finish(&self) {
+        let inner = &*self.inner;
+        let mut st = inner.state.lock().unwrap();
+        st.threads[self.tid].finished = true;
+        st.threads[self.tid].pending = None;
+        if st.abort {
+            if st.threads.iter().all(|t| t.finished) {
+                st.done = true;
+            }
+            inner.cv.notify_all();
+            return;
+        }
+        Inner::trace_push(&mut st, format!("T{}: finish", self.tid));
+        inner.decide_from(&mut st, Some(self.tid));
+    }
+
+    /// Record a violation from shim code and unwind the body.
+    pub(crate) fn fail_here(&self, msg: String) -> ! {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            if !st.abort {
+                self.inner
+                    .abort_with(&mut st, ViolationKind::Assertion, msg);
+            }
+        }
+        std::panic::panic_any(AbortSchedule);
+    }
+}
+
+impl VtHooks for ThreadHooks {
+    fn op_store(&self, loc: Loc, val: u64) {
+        self.reach(Op::Store(loc, val));
+    }
+
+    fn op_load(&self, loc: Loc) -> u64 {
+        self.reach(Op::Load(loc))
+    }
+
+    fn op_fence(&self) {
+        self.reach(Op::Fence);
+    }
+
+    fn op_yield(&self, kind: YieldKind) {
+        // A compiler fence has no memory-model effect here (it does not
+        // drain the buffer) and the next instrumented operation offers
+        // the same preemption opportunity — making it a scheduling point
+        // would only inflate the DFS space.
+        if matches!(kind, YieldKind::CompilerFence) {
+            return;
+        }
+        self.reach(Op::Yield(kind));
+    }
+
+    fn spin_yield(&self) {
+        self.reach(Op::Spin);
+    }
+
+    fn serialize(&self, slot_key: usize) {
+        self.reach(Op::Serialize(slot_key));
+    }
+
+    fn on_register(&self, slot_key: usize) {
+        // Not a yield point: just map the registration to this vthread so
+        // later serializations drain the right modeled buffer.
+        let mut st = self.inner.state.lock().unwrap();
+        st.slot_to_tid.insert(slot_key, self.tid);
+    }
+}
+
+/// Handle passed to the test body: spawn virtual threads, register a
+/// post-schedule validation.
+pub struct Exec {
+    inner: Arc<Inner>,
+    handles: RefCell<Vec<std::thread::JoinHandle<()>>>,
+    validate: RefCell<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl Exec {
+    /// Spawn a virtual thread running `f` under the controlled scheduler.
+    /// Threads start only after the body closure returns, in a
+    /// deterministic state, regardless of OS spawn timing.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, f: F) {
+        let tid = {
+            let mut st = self.inner.state.lock().unwrap();
+            assert!(
+                !st.started,
+                "Exec::spawn must be called from the body closure, before the schedule starts"
+            );
+            assert!(st.threads.len() < 16, "at most 16 virtual threads");
+            st.threads.push(Vt::new());
+            st.threads.len() - 1
+        };
+        let inner = self.inner.clone();
+        let h = std::thread::spawn(move || {
+            let hooks = Arc::new(ThreadHooks { inner: inner.clone(), tid });
+            let _shim = crate::shim::set_current(hooks.clone());
+            let _guard = hooks::install(hooks.clone() as Arc<dyn VtHooks>);
+            hooks.reach(Op::Start);
+            let result = catch_unwind(AssertUnwindSafe(f));
+            if let Err(payload) = result {
+                if !payload.is::<AbortSchedule>() {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "virtual thread panicked".into());
+                    let mut st = hooks.inner.state.lock().unwrap();
+                    if !st.abort {
+                        hooks.inner.abort_with(
+                            &mut st,
+                            ViolationKind::Panic,
+                            format!("T{tid} panicked: {msg}"),
+                        );
+                    }
+                }
+            }
+            hooks.finish();
+        });
+        self.handles.borrow_mut().push(h);
+    }
+
+    /// Register a closure run on the main thread after every schedule in
+    /// which no violation occurred (all virtual threads joined). A panic
+    /// inside it is reported as an [`ViolationKind::Assertion`] violation
+    /// for that schedule.
+    pub fn validate<F: FnOnce() + Send + 'static>(&self, f: F) {
+        *self.validate.borrow_mut() = Some(Box::new(f));
+    }
+}
+
+/// Run one schedule of `body` under `engine`; returns the engine (its
+/// exploration state advanced) and the outcome.
+pub(crate) fn run_schedule(
+    engine: Box<dyn EngineCore>,
+    cfg: Config,
+    body: &dyn Fn(&Exec),
+) -> (Box<dyn EngineCore>, Outcome) {
+    install_quiet_panic_hook();
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            threads: Vec::new(),
+            started: false,
+            arrivals: 0,
+            granted: None,
+            abort: false,
+            done: false,
+            violation: None,
+            trace: Vec::new(),
+            choices: Vec::new(),
+            steps: 0,
+            preemptions: 0,
+            commits: 0,
+            cfg,
+            loc_ids: HashMap::new(),
+            slot_to_tid: HashMap::new(),
+            engine: Some(engine),
+        }),
+        cv: Condvar::new(),
+    });
+
+    let exec = Exec {
+        inner: inner.clone(),
+        handles: RefCell::new(Vec::new()),
+        validate: RefCell::new(None),
+    };
+    body(&exec);
+    let handles = exec.handles.take();
+    let validate = exec.validate.take();
+    let n = handles.len();
+
+    {
+        let mut st: MutexGuard<State> = inner.state.lock().unwrap();
+        while st.arrivals < n {
+            st = inner.cv.wait(st).unwrap();
+        }
+        st.started = true;
+        if n == 0 {
+            st.done = true;
+        } else {
+            inner.decide_from(&mut st, None);
+        }
+        while !st.done {
+            st = inner.cv.wait(st).unwrap();
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let mut st = inner.state.lock().unwrap();
+    if st.violation.is_none() {
+        if let Some(v) = validate {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(v)) {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "validate closure panicked".into());
+                let vmsg = format!("validate failed: {msg}");
+                Inner::trace_push(&mut st, format!("!! violation (Assertion): {vmsg}"));
+                st.violation = Some((ViolationKind::Assertion, vmsg));
+            }
+        }
+    }
+    let trace = st
+        .trace
+        .iter()
+        .enumerate()
+        .map(|(i, l)| format!("{:>4}. {l}", i + 1))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let outcome = Outcome {
+        violation: st.violation.clone(),
+        choices: st.choices.clone(),
+        trace,
+    };
+    let engine = st.engine.take().expect("engine still present");
+    (engine, outcome)
+}

@@ -1,0 +1,179 @@
+//! Shared-state shims for test bodies running under the harness.
+//!
+//! Test closures cannot use `std::sync` primitives directly: a real mutex
+//! would block the one running thread and deadlock the serialized
+//! scheduler, and plain shared memory would race invisibly. Instead:
+//!
+//! * [`AtomicCell`] — a `u64` cell whose loads and stores are yield points
+//!   routed through the modeled store buffers (the building block for
+//!   litmus tests written against the harness).
+//! * [`Shared`] — exclusive-access shared data with *conflict detection*:
+//!   overlapping `with_mut` critical sections are reported as an
+//!   [`Assertion`](crate::ViolationKind::Assertion) violation instead of
+//!   silently interleaving. This is how mutual-exclusion tests witness a
+//!   protocol failure.
+//! * [`yield_now`] / [`fail`] — explicit scheduling point and explicit
+//!   violation, for hand-rolled invariant checks inside bodies.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::sched::ThreadHooks;
+use lbmf::hooks;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<ThreadHooks>>> = const { RefCell::new(None) };
+}
+
+/// Install `hooks` as this thread's shim context; restored on drop.
+pub(crate) fn set_current(hooks: Arc<ThreadHooks>) -> ShimGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(hooks));
+    ShimGuard { prev }
+}
+
+pub(crate) struct ShimGuard {
+    prev: Option<Arc<ThreadHooks>>,
+}
+
+impl Drop for ShimGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+fn current() -> Option<Arc<ThreadHooks>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// An explicit scheduling point. Under the harness this lets the engine
+/// preempt here; outside it, it is a plain `std::thread::yield_now`.
+pub fn yield_now() {
+    if current().is_some() {
+        hooks::explicit_yield();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Report a harness violation and abort the current schedule. Outside the
+/// harness this is a plain panic.
+pub fn fail(msg: &str) -> ! {
+    if let Some(h) = current() {
+        h.fail_here(msg.to_string());
+    }
+    panic!("{msg}");
+}
+
+/// A `u64` cell whose accesses are instrumented yield points: stores go
+/// through the modeled store buffer of the issuing virtual thread, loads
+/// forward from it. Outside the harness it degrades to a plain `AtomicU64`
+/// with `SeqCst` ordering.
+#[derive(Debug, Default)]
+pub struct AtomicCell {
+    inner: AtomicU64,
+}
+
+impl AtomicCell {
+    pub const fn new(v: u64) -> Self {
+        AtomicCell {
+            inner: AtomicU64::new(v),
+        }
+    }
+
+    pub fn load(&self) -> u64 {
+        hooks::load_u64(&self.inner, Ordering::SeqCst)
+    }
+
+    pub fn store(&self, v: u64) {
+        hooks::store_u64(&self.inner, v, Ordering::SeqCst);
+    }
+
+    /// A full fence issued by the calling virtual thread (drains its
+    /// modeled store buffer).
+    pub fn fence() {
+        if current().is_some() {
+            hooks::fence_hook();
+        } else {
+            std::sync::atomic::fence(Ordering::SeqCst);
+        }
+    }
+}
+
+const FREE: usize = 0;
+const WRITER: usize = usize::MAX;
+
+/// Shared mutable data with exclusivity *checking* rather than
+/// enforcement. `with_mut` claims the value, yields so the scheduler can
+/// try to interleave a conflicting claim, and reports a violation if one
+/// occurs — turning a mutual-exclusion bug in the protocol under test into
+/// a deterministic, replayable failure instead of undefined behavior.
+pub struct Shared<T> {
+    claim: AtomicUsize,
+    value: UnsafeCell<T>,
+    /// Real lock guarding the actual data access, so that even a detected
+    /// violation (or abort-mode free-running) never produces an actual
+    /// data race on `value`.
+    fallback: std::sync::Mutex<()>,
+}
+
+// SAFETY: access to `value` is always under `fallback`; `claim` is atomic.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    pub fn new(value: T) -> Self {
+        Shared {
+            claim: AtomicUsize::new(FREE),
+            value: UnsafeCell::new(value),
+            fallback: std::sync::Mutex::new(()),
+        }
+    }
+
+    /// Exclusive access to the value. If another virtual thread is inside
+    /// its own `with_mut` on the same `Shared`, the schedule is reported
+    /// as a mutual-exclusion violation.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        yield_now();
+        let prev = self.claim.swap(WRITER, Ordering::SeqCst);
+        if prev != FREE {
+            fail("Shared: overlapping exclusive access (mutual exclusion violated)");
+        }
+        // Yield inside the claimed window so a conflicting thread can be
+        // scheduled to hit the check above.
+        yield_now();
+        let result = {
+            let _g = self.fallback.lock().unwrap_or_else(|e| e.into_inner());
+            // SAFETY: `fallback` is held; `value` accesses are serialized.
+            f(unsafe { &mut *self.value.get() })
+        };
+        self.claim.store(FREE, Ordering::SeqCst);
+        result
+    }
+
+    /// Read a copy of the value without claiming it (no conflict check).
+    pub fn read(&self) -> T
+    where
+        T: Copy,
+    {
+        let _g = self.fallback.lock().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: `fallback` is held.
+        unsafe { *self.value.get() }
+    }
+
+    /// Consume the `Shared` after all virtual threads have joined.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// Re-exported so bodies can mark arbitrary spin loops (parity with
+/// `lbmf::hooks::spin_yield`, which core's `spin_until` already calls).
+pub fn spin_yield() {
+    if current().is_some() {
+        hooks::spin_yield();
+    } else {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end `LBMF_CHECK_SEED` replay: the environment variable a failure
+//! report tells the user to set really does rerun exactly the failing
+//! interleaving.
+//!
+//! This lives in its own integration-test binary (its own process) because
+//! it mutates the process environment; the library tests exercise the same
+//! machinery in-process through `Explorer::seed_override`. Everything here
+//! is one `#[test]` so no parallel test thread observes a half-set
+//! variable.
+
+use lbmf_check::{AtomicCell, Explorer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The unfenced store-buffering shape: the canonical bug every engine can
+/// find within a handful of schedules.
+fn sb_unfenced(exec: &lbmf_check::Exec) {
+    let x = Arc::new(AtomicCell::new(0));
+    let y = Arc::new(AtomicCell::new(0));
+    let r0 = Arc::new(AtomicU64::new(99));
+    let r1 = Arc::new(AtomicU64::new(99));
+    {
+        let (x, y, r0) = (x.clone(), y.clone(), r0.clone());
+        exec.spawn(move || {
+            x.store(1);
+            r0.store(y.load(), Ordering::SeqCst);
+        });
+    }
+    {
+        let (x, y, r1) = (x.clone(), y.clone(), r1.clone());
+        exec.spawn(move || {
+            y.store(1);
+            r1.store(x.load(), Ordering::SeqCst);
+        });
+    }
+    exec.validate(move || {
+        let (a, b) = (r0.load(Ordering::SeqCst), r1.load(Ordering::SeqCst));
+        assert!(!(a == 0 && b == 0), "forbidden SB outcome r0=0 r1=0");
+    });
+}
+
+#[test]
+fn env_seed_replays_the_reported_failure() {
+    std::env::remove_var("LBMF_CHECK_SEED");
+
+    // 1. Explore until the bug is found; the report carries the derived
+    //    per-schedule seed that its Display output tells the user to
+    //    export.
+    let found = Explorer::random_walk(0x5EED_0001, 2_000).check("env-sb", sb_unfenced);
+    let v = found.expect_violation().clone();
+    let seed = v.seed.expect("randomized engines report a replay seed");
+    let printed = format!("{}", found);
+    assert!(
+        printed.contains(&format!("LBMF_CHECK_SEED={seed:#x}")),
+        "report must print the export hint:\n{printed}"
+    );
+
+    // 2. Replay through the environment, from a *different* base seed:
+    //    the env override must pin the exploration to exactly one
+    //    schedule that reproduces the same interleaving byte for byte.
+    std::env::set_var("LBMF_CHECK_SEED", format!("{seed:#x}"));
+    let replay = Explorer::random_walk(0xFFFF_FFFF, 2_000).check("env-sb", sb_unfenced);
+    std::env::remove_var("LBMF_CHECK_SEED");
+
+    assert_eq!(replay.schedules_run, 1, "env seed pins a single schedule");
+    let vr = replay.expect_violation();
+    assert_eq!(vr.trace, v.trace, "env replay reproduces the interleaving");
+    assert_eq!(vr.choices, v.choices);
+
+    // 3. Decimal spelling of the same seed works too.
+    std::env::set_var("LBMF_CHECK_SEED", format!("{seed}"));
+    let replay_dec = Explorer::random_walk(0x1234, 2_000).check("env-sb", sb_unfenced);
+    std::env::remove_var("LBMF_CHECK_SEED");
+    assert_eq!(replay_dec.schedules_run, 1);
+    assert_eq!(replay_dec.expect_violation().trace, v.trace);
+}

@@ -19,12 +19,12 @@
 
 use crate::job::JobCore;
 use crate::stats::WorkerStats;
+use lbmf::hooks::{load_i64, load_ptr, store_i64, store_ptr};
 use lbmf::registry::RemoteThread;
 use lbmf::strategy::FenceStrategy;
+use lbmf::sync::{CachePadded, Mutex};
 use std::sync::atomic::{AtomicI64, AtomicPtr, Ordering};
 use std::sync::{Arc, OnceLock};
-
-use crossbeam::utils::CachePadded;
 
 /// Result of a steal attempt.
 pub enum Steal<S: FenceStrategy> {
@@ -43,7 +43,7 @@ pub struct TheDeque<S: FenceStrategy> {
     /// `H`: next slot to steal; bumped by thieves under the lock.
     head: CachePadded<AtomicI64>,
     /// Thief-side lock (also taken by the victim's conflict path).
-    lock: parking_lot::Mutex<()>,
+    lock: Mutex<()>,
     buf: Box<[AtomicPtr<JobCore<S>>]>,
     mask: i64,
     /// The owning worker's thread handle, for remote serialization.
@@ -67,7 +67,7 @@ impl<S: FenceStrategy> TheDeque<S> {
         TheDeque {
             tail: CachePadded::new(AtomicI64::new(0)),
             head: CachePadded::new(AtomicI64::new(0)),
-            lock: parking_lot::Mutex::new(()),
+            lock: Mutex::new(()),
             buf,
             mask: (cap - 1) as i64,
             owner: OnceLock::new(),
@@ -90,8 +90,8 @@ impl<S: FenceStrategy> TheDeque<S> {
 
     /// Number of queued jobs (approximate outside the owner).
     pub fn len(&self) -> usize {
-        let t = self.tail.load(Ordering::Relaxed);
-        let h = self.head.load(Ordering::Relaxed);
+        let t = load_i64(&self.tail, Ordering::Relaxed);
+        let h = load_i64(&self.head, Ordering::Relaxed);
         (t - h).max(0) as usize
     }
 
@@ -102,47 +102,47 @@ impl<S: FenceStrategy> TheDeque<S> {
 
     /// Owner: push a job (the spawn path — no fence at all, as in Cilk-5).
     pub fn push(&self, job: *mut JobCore<S>, stats: &WorkerStats) {
-        let t = self.tail.load(Ordering::Relaxed);
-        let h = self.head.load(Ordering::Relaxed);
+        let t = load_i64(&self.tail, Ordering::Relaxed);
+        let h = load_i64(&self.head, Ordering::Relaxed);
         assert!(
             t - h <= self.mask,
             "deque overflow: spawn depth exceeded capacity {}",
             self.mask + 1
         );
-        self.slot(t).store(job, Ordering::Relaxed);
+        store_ptr(self.slot(t), job, Ordering::Relaxed);
         // Publish the slot before the new tail (thieves read tail Acquire).
-        self.tail.store(t + 1, Ordering::Release);
+        store_i64(&self.tail, t + 1, Ordering::Release);
         WorkerStats::bump(&stats.pushes);
     }
 
     /// Owner: pop the most recently pushed job. This is the hot path whose
     /// fence the paper's ACilk-5 removes.
     pub fn pop(&self, stats: &WorkerStats) -> Option<*mut JobCore<S>> {
-        let t = self.tail.load(Ordering::Relaxed) - 1;
-        self.tail.store(t, Ordering::Relaxed); // T--
+        let t = load_i64(&self.tail, Ordering::Relaxed) - 1;
+        store_i64(&self.tail, t, Ordering::Relaxed); // T--
         self.strategy.primary_fence(); // the l-mfence position
-        let h = self.head.load(Ordering::Acquire);
+        let h = load_i64(&self.head, Ordering::Acquire);
         if h > t {
             // Possible conflict with a thief: restore T and retry under
             // the lock, where H is stable.
-            self.tail.store(t + 1, Ordering::Relaxed);
+            store_i64(&self.tail, t + 1, Ordering::Relaxed);
             WorkerStats::bump(&stats.pop_conflicts);
             let _guard = self.lock.lock();
-            let t = self.tail.load(Ordering::Relaxed) - 1;
-            self.tail.store(t, Ordering::Relaxed);
+            let t = load_i64(&self.tail, Ordering::Relaxed) - 1;
+            store_i64(&self.tail, t, Ordering::Relaxed);
             // Under the lock no thief can move H; a full fence makes the
             // decrement visible before we conclude (cold path: cheap).
             lbmf::fence::full_fence();
-            let h = self.head.load(Ordering::Acquire);
+            let h = load_i64(&self.head, Ordering::Acquire);
             if h > t {
-                self.tail.store(t + 1, Ordering::Relaxed);
+                store_i64(&self.tail, t + 1, Ordering::Relaxed);
                 return None;
             }
             WorkerStats::bump(&stats.pops);
-            return Some(self.slot(t).load(Ordering::Relaxed));
+            return Some(load_ptr(self.slot(t), Ordering::Relaxed));
         }
         WorkerStats::bump(&stats.pops);
-        Some(self.slot(t).load(Ordering::Relaxed))
+        Some(load_ptr(self.slot(t), Ordering::Relaxed))
     }
 
     /// Thief: try to steal the oldest job. Every attempt pays the
@@ -154,21 +154,21 @@ impl<S: FenceStrategy> TheDeque<S> {
             None => return Steal::Retry,
         };
         WorkerStats::bump(&stats.steal_attempts);
-        let h = self.head.load(Ordering::Relaxed);
-        self.head.store(h + 1, Ordering::Relaxed); // H++
+        let h = load_i64(&self.head, Ordering::Relaxed);
+        store_i64(&self.head, h + 1, Ordering::Relaxed); // H++
         self.strategy.secondary_fence();
         if let Some(owner) = self.owner.get() {
             // Location-based serialization: force the victim's (possibly
             // buffered) T decrement out so the comparison below is sound.
             self.strategy.serialize_remote(owner);
         }
-        let t = self.tail.load(Ordering::Acquire);
+        let t = load_i64(&self.tail, Ordering::Acquire);
         if h + 1 > t {
-            self.head.store(h, Ordering::Relaxed); // retreat
+            store_i64(&self.head, h, Ordering::Relaxed); // retreat
             drop(guard);
             return Steal::Empty;
         }
-        let job = self.slot(h).load(Ordering::Relaxed);
+        let job = load_ptr(self.slot(h), Ordering::Relaxed);
         drop(guard);
         WorkerStats::bump(&stats.steals);
         Steal::Success(job)

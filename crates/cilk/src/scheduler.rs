@@ -15,7 +15,7 @@ use crate::job::{execute, JobCore, Latch, StackJob};
 use crate::stats::{RuntimeStats, WorkerStats};
 use lbmf::registry::register_current_thread;
 use lbmf::strategy::FenceStrategy;
-use parking_lot::{Condvar, Mutex};
+use lbmf::sync::{Condvar, Mutex};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -163,13 +163,11 @@ fn worker_main<S: FenceStrategy>(inner: Arc<Inner<S>>, index: usize) {
                 execute(job, &ctx);
             },
             None => {
-                let mut guard = inner.idle_mutex.lock();
+                let guard = inner.idle_mutex.lock();
                 if inner.shutdown.load(Ordering::Acquire) {
                     break;
                 }
-                inner
-                    .idle_cv
-                    .wait_for(&mut guard, Duration::from_micros(500));
+                let _guard = inner.idle_cv.wait_for(guard, Duration::from_micros(500));
             }
         }
     }

@@ -45,7 +45,7 @@ pub struct Scope<'scope, S: FenceStrategy> {
     pending: AtomicUsize,
     /// First panic raised by a spawned task (propagated when the scope
     /// closes).
-    panic: parking_lot::Mutex<Option<Box<dyn Any + Send>>>,
+    panic: lbmf::sync::Mutex<Option<Box<dyn Any + Send>>>,
     /// Invariant over 'scope (the usual scoped-task variance guard).
     _marker: PhantomData<&'scope mut &'scope ()>,
     _strategy: PhantomData<S>,
@@ -125,7 +125,7 @@ impl<'s, S: FenceStrategy> WorkerCtx<'s, S> {
     ) -> R {
         let scope = Scope {
             pending: AtomicUsize::new(0),
-            panic: parking_lot::Mutex::new(None),
+            panic: lbmf::sync::Mutex::new(None),
             _marker: PhantomData,
             _strategy: PhantomData,
         };

@@ -1,0 +1,135 @@
+//! Systematic checking of the THE deque's steal-vs-pop race.
+//!
+//! The victim's `pop` and a thief's `steal` run the Dekker duality on
+//! `(T, H)` (see `deque.rs`). Under the `lbmf-check` controlled scheduler
+//! and its modeled x86-TSO store buffers, bounded DFS exhausts the
+//! interleavings of one pop racing one steal for the last job:
+//!
+//! * `Symmetric` (mfence in pop) and `SignalFence` (compiler fence in pop,
+//!   remote serialization in steal) never lose or duplicate the job.
+//! * `NoFence` (compiler fence in pop, **no** serialization in steal) lets
+//!   the victim's `T--` sit in its store buffer while the thief reads the
+//!   stale tail — both sides take the same job.
+
+use lbmf::registry::register_current_thread;
+use lbmf::strategy::{FenceStrategy, NoFence, SignalFence, Symmetric};
+use lbmf_check::{Explorer, ViolationKind};
+use lbmf_cilk::deque::{Steal, TheDeque};
+use lbmf_cilk::job::JobCore;
+use lbmf_cilk::stats::WorkerStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One victim pushes a single job and pops it; one thief tries to steal
+/// it. The validate closure asserts the job was taken exactly once.
+///
+/// The recording cells are plain `AtomicU64`s on purpose: they are
+/// bookkeeping, not part of the protocol under test, so they must not add
+/// scheduling points or modeled-buffer traffic.
+fn one_job_race<S, F>(mk: F) -> impl Fn(&lbmf_check::Exec)
+where
+    S: FenceStrategy + Send + Sync + 'static,
+    F: Fn() -> S,
+{
+    move |exec| {
+        let deque = Arc::new(TheDeque::new(Arc::new(mk()), 2));
+        let popped = Arc::new(AtomicU64::new(0));
+        let stolen = Arc::new(AtomicU64::new(0));
+
+        let d = deque.clone();
+        let p = popped.clone();
+        exec.spawn(move || {
+            // The victim registers itself so thieves can serialize it
+            // remotely, exactly as a scheduler worker would.
+            let reg = register_current_thread();
+            d.set_owner(reg.remote());
+            let stats = WorkerStats::default();
+            d.push(1 as *mut JobCore<S>, &stats);
+            if d.pop(&stats).is_some() {
+                p.store(1, Ordering::SeqCst);
+            }
+        });
+
+        let d = deque.clone();
+        let s = stolen.clone();
+        exec.spawn(move || {
+            let stats = WorkerStats::default();
+            // Bounded attempts: retry through Retry (victim holds the
+            // lock) and Empty (victim has not pushed yet) so DFS explores
+            // steals before, during, and after the pop.
+            for _ in 0..6 {
+                match d.steal(&stats) {
+                    Steal::Success(_) => {
+                        s.store(1, Ordering::SeqCst);
+                        break;
+                    }
+                    Steal::Empty | Steal::Retry => lbmf_check::spin_yield(),
+                }
+            }
+        });
+
+        let p = popped.clone();
+        let s = stolen.clone();
+        exec.validate(move || {
+            let p = p.load(Ordering::SeqCst);
+            let s = s.load(Ordering::SeqCst);
+            assert!(!(p == 1 && s == 1), "job taken twice (popped and stolen)");
+            assert!(p == 1 || s == 1, "job lost (neither popped nor stolen)");
+        });
+    }
+}
+
+#[test]
+fn deque_symmetric_never_loses_or_duplicates_within_preemption_bound_2() {
+    let report = Explorer::dfs(2)
+        .seed_override(None)
+        .check("deque-symmetric", one_job_race(Symmetric::new));
+    report.assert_no_violation();
+    assert!(report.exhausted, "DFS must exhaust the bounded space");
+}
+
+#[test]
+fn deque_signal_fence_never_loses_or_duplicates_within_preemption_bound_2() {
+    let report = Explorer::dfs(2)
+        .seed_override(None)
+        .check("deque-signal", one_job_race(SignalFence::new));
+    report.assert_no_violation();
+    assert!(report.exhausted, "DFS must exhaust the bounded space");
+}
+
+#[test]
+fn deque_without_serialization_duplicates_the_last_job() {
+    // Negative control: the thief trusts the committed tail without
+    // forcing the victim's buffered `T--` out — the classic THE bug the
+    // victim-side mfence (or remote serialization) exists to prevent.
+    let report = Explorer::dfs(2)
+        .seed_override(None)
+        .check("deque-nofence", one_job_race(NoFence::new));
+    let v = report.expect_violation();
+    assert_eq!(v.kind, ViolationKind::Assertion);
+    assert!(
+        v.message.contains("taken twice") || v.message.contains("job lost"),
+        "expected a lost/duplicated job, got: {}",
+        v.message
+    );
+    assert!(
+        v.trace.contains("buffered"),
+        "the failing trace must show the buffered store:\n{}",
+        v.trace
+    );
+}
+
+#[test]
+fn deque_nofence_bug_replays_from_reported_seed() {
+    let found = Explorer::random_walk(0xBADC_0FFE, 4_000)
+        .seed_override(None)
+        .check("deque-nofence-rand", one_job_race(NoFence::new));
+    let v = found.expect_violation();
+    let seed = v.seed.expect("randomized engines report a seed");
+
+    let replay = Explorer::random_walk(0x1234_5678, 4_000)
+        .seed_override(Some(seed))
+        .check("deque-nofence-rand", one_job_race(NoFence::new));
+    assert_eq!(replay.schedules_run, 1, "seed replay runs one schedule");
+    assert_eq!(replay.expect_violation().trace, v.trace);
+}

@@ -1,11 +1,17 @@
-//! Property-based tests for the work-stealing runtime: random fork-join
-//! computations must produce exactly the sequential result under any
-//! worker count and fence strategy.
+//! Property-style tests for the work-stealing runtime: randomly shaped
+//! fork-join computations must produce exactly the sequential result under
+//! any worker count and fence strategy.
+//!
+//! The default build generates the random expression trees from a fixed
+//! SplitMix64 seed (the hosts build offline, so `proptest` is not
+//! available); the original proptest versions survive behind the
+//! non-default `proptest` feature, which requires restoring the `proptest`
+//! dev-dependency on a networked machine.
 
+use lbmf::strategy::FenceStrategy;
 use lbmf::strategy::{SignalFence, Symmetric};
 use lbmf_cilk::{Scheduler, WorkerCtx};
-use lbmf::strategy::FenceStrategy;
-use proptest::prelude::*;
+use lbmf_prng::{Rng, SplitMix64};
 use std::sync::Arc;
 
 /// A randomly shaped fork-join expression tree.
@@ -16,14 +22,19 @@ enum Expr {
     Mul(Box<Expr>, Box<Expr>),
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = (0u64..1000).prop_map(Expr::Leaf);
-    leaf.prop_recursive(8, 96, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-        ]
-    })
+/// A random tree of depth at most `depth` (mirrors the recursive proptest
+/// strategy: at each level, half the mass goes to leaves).
+fn random_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+    if depth == 0 || rng.random_ratio(1, 2) {
+        return Expr::Leaf(rng.bounded_u64(1000));
+    }
+    let a = Box::new(random_expr(rng, depth - 1));
+    let b = Box::new(random_expr(rng, depth - 1));
+    if rng.random_ratio(1, 2) {
+        Expr::Add(a, b)
+    } else {
+        Expr::Mul(a, b)
+    }
 }
 
 fn eval_seq(e: &Expr) -> u64 {
@@ -48,34 +59,43 @@ fn eval_par<S: FenceStrategy>(ctx: &WorkerCtx<'_, S>, e: &Expr) -> u64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Random expression trees evaluate identically in sequence and on the
-    /// symmetric pool.
-    #[test]
-    fn random_trees_match_sequential_symmetric(e in expr_strategy()) {
-        let pool = Scheduler::new(3, Arc::new(Symmetric::new()));
+/// Random expression trees evaluate identically in sequence and on the
+/// symmetric pool.
+#[test]
+fn random_trees_match_sequential_symmetric() {
+    let mut rng = SplitMix64::seed_from_u64(0xC11C_0001);
+    let pool = Scheduler::new(3, Arc::new(Symmetric::new()));
+    for _ in 0..24 {
+        let e = random_expr(&mut rng, 8);
         let par = pool.run(|ctx| eval_par(ctx, &e));
-        prop_assert_eq!(par, eval_seq(&e));
+        assert_eq!(par, eval_seq(&e), "tree diverged: {e:?}");
     }
+}
 
-    /// Same under the asymmetric (signal-serialized) pool.
-    #[test]
-    fn random_trees_match_sequential_asymmetric(e in expr_strategy()) {
-        let pool = Scheduler::new(2, Arc::new(SignalFence::new()));
+/// Same under the asymmetric (signal-serialized) pool.
+#[test]
+fn random_trees_match_sequential_asymmetric() {
+    let mut rng = SplitMix64::seed_from_u64(0xC11C_0002);
+    let pool = Scheduler::new(2, Arc::new(SignalFence::new()));
+    for _ in 0..24 {
+        let e = random_expr(&mut rng, 8);
         let par = pool.run(|ctx| eval_par(ctx, &e));
-        prop_assert_eq!(par, eval_seq(&e));
+        assert_eq!(par, eval_seq(&e), "tree diverged: {e:?}");
     }
+}
 
-    /// Job conservation: pushes == pops + steals after any run.
-    #[test]
-    fn job_conservation(e in expr_strategy(), workers in 1usize..5) {
+/// Job conservation: pushes == pops + steals after any run.
+#[test]
+fn job_conservation() {
+    let mut rng = SplitMix64::seed_from_u64(0xC11C_0003);
+    for _ in 0..12 {
+        let workers = rng.random_range(1..5);
+        let e = random_expr(&mut rng, 8);
         let pool = Scheduler::new(workers, Arc::new(Symmetric::new()));
         pool.reset_stats();
         let _ = pool.run(|ctx| eval_par(ctx, &e));
         let s = pool.stats();
-        prop_assert_eq!(s.pushes, s.pops + s.steals);
+        assert_eq!(s.pushes, s.pops + s.steals, "workers={workers} tree={e:?}");
     }
 }
 
@@ -103,4 +123,51 @@ fn concurrent_runs_share_the_pool() {
     }
     // sum of 11k for k=1..4
     assert_eq!(total.load(Ordering::Relaxed), 11 * (1 + 2 + 3 + 4));
+}
+
+/// The original proptest versions of the properties above. Compiled only
+/// with `--features proptest` after restoring the `proptest`
+/// dev-dependency (registry access required).
+#[cfg(feature = "proptest")]
+mod proptest_originals {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn expr_strategy() -> impl Strategy<Value = Expr> {
+        let leaf = (0u64..1000).prop_map(Expr::Leaf);
+        leaf.prop_recursive(8, 96, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+                (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        #[test]
+        fn random_trees_match_sequential_symmetric_pt(e in expr_strategy()) {
+            let pool = Scheduler::new(3, Arc::new(Symmetric::new()));
+            let par = pool.run(|ctx| eval_par(ctx, &e));
+            prop_assert_eq!(par, eval_seq(&e));
+        }
+
+        #[test]
+        fn random_trees_match_sequential_asymmetric_pt(e in expr_strategy()) {
+            let pool = Scheduler::new(2, Arc::new(SignalFence::new()));
+            let par = pool.run(|ctx| eval_par(ctx, &e));
+            prop_assert_eq!(par, eval_seq(&e));
+        }
+
+        #[test]
+        fn job_conservation_pt(e in expr_strategy(), workers in 1usize..5) {
+            let pool = Scheduler::new(workers, Arc::new(Symmetric::new()));
+            pool.reset_stats();
+            let _ = pool.run(|ctx| eval_par(ctx, &e));
+            let s = pool.stats();
+            prop_assert_eq!(s.pushes, s.pops + s.steals);
+        }
+    }
 }

@@ -21,9 +21,10 @@
 //!   Figure 6(b).
 
 use crate::fence::{full_fence, spin_for, spin_until};
+use crate::hooks::{load_u64, store_u64};
 use crate::registry::{register_current_thread, Registration};
 use crate::strategy::FenceStrategy;
-use crossbeam::utils::CachePadded;
+use crate::sync::{CachePadded, Mutex, MutexGuard, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -46,8 +47,8 @@ pub struct AsymRwLock<S: FenceStrategy> {
     write_intent: CachePadded<AtomicU64>,
     /// Monotonic epoch source for writer sessions.
     epoch: AtomicU64,
-    writer_mutex: parking_lot::Mutex<()>,
-    readers: parking_lot::RwLock<Vec<Arc<ReaderSlot>>>,
+    writer_mutex: Mutex<()>,
+    readers: RwLock<Vec<Arc<ReaderSlot>>>,
     /// ARW+ waiting-heuristic spin budget; 0 disables the heuristic.
     spin_window: u32,
     /// Completed read acquisitions.
@@ -74,8 +75,8 @@ impl<S: FenceStrategy> AsymRwLock<S> {
             strategy,
             write_intent: CachePadded::new(AtomicU64::new(0)),
             epoch: AtomicU64::new(1),
-            writer_mutex: parking_lot::Mutex::new(()),
-            readers: parking_lot::RwLock::new(Vec::new()),
+            writer_mutex: Mutex::new(()),
+            readers: RwLock::new(Vec::new()),
             spin_window,
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
@@ -117,7 +118,7 @@ impl<S: FenceStrategy> AsymRwLock<S> {
     pub fn write_lock(&self) -> WriteGuard<'_, S> {
         let inner = self.writer_mutex.lock();
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
-        self.write_intent.store(epoch, Ordering::Release);
+        store_u64(&self.write_intent, epoch, Ordering::Release);
         self.strategy.secondary_fence();
 
         let readers = self.readers.read();
@@ -130,14 +131,14 @@ impl<S: FenceStrategy> AsymRwLock<S> {
                 readers
                     .iter()
                     .filter(|r| r.active.load(Ordering::Acquire) && !r.remote.is_current())
-                    .all(|r| r.acked.load(Ordering::Acquire) >= epoch)
+                    .all(|r| load_u64(&r.acked, Ordering::Acquire) >= epoch)
             });
         }
         for slot in readers.iter() {
             if !slot.active.load(Ordering::Acquire) || slot.remote.is_current() {
                 continue;
             }
-            if self.spin_window > 0 && slot.acked.load(Ordering::Acquire) >= epoch {
+            if self.spin_window > 0 && load_u64(&slot.acked, Ordering::Acquire) >= epoch {
                 // The reader fenced and parked itself: its `reading == 0`
                 // store is visible and it will not re-enter this epoch.
                 self.signals_skipped.fetch_add(1, Ordering::Relaxed);
@@ -148,7 +149,7 @@ impl<S: FenceStrategy> AsymRwLock<S> {
                 self.strategy.serialize_remote(&slot.remote);
             }
             spin_until(|| {
-                slot.reading.load(Ordering::Acquire) == 0 || !slot.active.load(Ordering::Acquire)
+                load_u64(&slot.reading, Ordering::Acquire) == 0 || !slot.active.load(Ordering::Acquire)
             });
         }
         drop(readers);
@@ -168,7 +169,7 @@ impl<S: FenceStrategy> AsymRwLock<S> {
     pub fn try_write_lock(&self) -> Option<WriteGuard<'_, S>> {
         let inner = self.writer_mutex.try_lock()?;
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
-        self.write_intent.store(epoch, Ordering::Release);
+        store_u64(&self.write_intent, epoch, Ordering::Release);
         self.strategy.secondary_fence();
         let readers = self.readers.read();
         for slot in readers.iter() {
@@ -176,9 +177,9 @@ impl<S: FenceStrategy> AsymRwLock<S> {
                 continue;
             }
             self.strategy.serialize_remote(&slot.remote);
-            if slot.reading.load(Ordering::Acquire) != 0 {
+            if load_u64(&slot.reading, Ordering::Acquire) != 0 {
                 drop(readers);
-                self.write_intent.store(0, Ordering::Release);
+                store_u64(&self.write_intent, 0, Ordering::Release);
                 return None;
             }
         }
@@ -209,9 +210,9 @@ impl<S: FenceStrategy> ReaderHandle<S> {
     pub fn read<T>(&self, f: impl FnOnce() -> T) -> T {
         let l = &*self.lock;
         loop {
-            self.slot.reading.store(1, Ordering::Release);
+            store_u64(&self.slot.reading, 1, Ordering::Release);
             l.strategy.primary_fence(); // the l-mfence position
-            let intent = l.write_intent.load(Ordering::Acquire);
+            let intent = load_u64(&l.write_intent, Ordering::Acquire);
             if intent == 0 {
                 break;
             }
@@ -219,13 +220,13 @@ impl<S: FenceStrategy> ReaderHandle<S> {
             // voluntary fence is what makes the acknowledgment sufficient
             // for the writer to skip the signal (ARW+).
             l.read_conflicts.fetch_add(1, Ordering::Relaxed);
-            self.slot.reading.store(0, Ordering::Release);
+            store_u64(&self.slot.reading, 0, Ordering::Release);
             full_fence();
-            self.slot.acked.store(intent, Ordering::Release);
-            spin_until(|| l.write_intent.load(Ordering::Acquire) == 0);
+            store_u64(&self.slot.acked, intent, Ordering::Release);
+            spin_until(|| load_u64(&l.write_intent, Ordering::Acquire) == 0);
         }
         let out = f();
-        self.slot.reading.store(0, Ordering::Release);
+        store_u64(&self.slot.reading, 0, Ordering::Release);
         l.reads.fetch_add(1, Ordering::Relaxed);
         out
     }
@@ -245,12 +246,12 @@ impl<S: FenceStrategy> Drop for ReaderHandle<S> {
 /// RAII guard for the write lock.
 pub struct WriteGuard<'a, S: FenceStrategy> {
     lock: &'a AsymRwLock<S>,
-    _inner: parking_lot::MutexGuard<'a, ()>,
+    _inner: MutexGuard<'a, ()>,
 }
 
 impl<S: FenceStrategy> Drop for WriteGuard<'_, S> {
     fn drop(&mut self) {
-        self.lock.write_intent.store(0, Ordering::Release);
+        store_u64(&self.lock.write_intent, 0, Ordering::Release);
     }
 }
 

@@ -10,9 +10,10 @@
 //! revocation is presumed rare.
 
 use crate::fence::spin_until;
+use crate::hooks::{load_usize, store_usize};
 use crate::registry::{register_current_thread, Registration, RemoteThread};
 use crate::strategy::FenceStrategy;
-use crossbeam::utils::CachePadded;
+use crate::sync::{CachePadded, Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -24,7 +25,7 @@ pub struct BiasedLock<S: FenceStrategy> {
     /// Nonzero while a revoker wants or holds the lock.
     revoke_flag: CachePadded<AtomicUsize>,
     owner_thread: OnceLock<RemoteThread>,
-    revoker_mutex: parking_lot::Mutex<()>,
+    revoker_mutex: Mutex<()>,
     /// Owner fast-path acquisitions.
     pub owner_acquires: AtomicU64,
     /// Owner acquisitions that had to wait for a revoker first.
@@ -41,7 +42,7 @@ impl<S: FenceStrategy> BiasedLock<S> {
             owner_flag: CachePadded::new(AtomicUsize::new(0)),
             revoke_flag: CachePadded::new(AtomicUsize::new(0)),
             owner_thread: OnceLock::new(),
-            revoker_mutex: parking_lot::Mutex::new(()),
+            revoker_mutex: Mutex::new(()),
             owner_acquires: AtomicU64::new(0),
             owner_waits: AtomicU64::new(0),
             revocations: AtomicU64::new(0),
@@ -72,13 +73,13 @@ impl<S: FenceStrategy> BiasedLock<S> {
     /// Acquire as a revoker (any non-owner thread).
     pub fn revoke_lock(&self) -> RevokerGuard<'_, S> {
         let inner = self.revoker_mutex.lock();
-        self.revoke_flag.store(1, Ordering::Release);
+        store_usize(&self.revoke_flag, 1, Ordering::Release);
         self.strategy.secondary_fence();
         if let Some(owner) = self.owner_thread.get() {
             self.strategy.serialize_remote(owner);
         }
         // The owner retreats on seeing revoke_flag; wait it out.
-        spin_until(|| self.owner_flag.load(Ordering::Acquire) == 0);
+        spin_until(|| load_usize(&self.owner_flag, Ordering::Acquire) == 0);
         self.revocations.fetch_add(1, Ordering::Relaxed);
         RevokerGuard { lock: self, _inner: inner }
     }
@@ -96,16 +97,16 @@ impl<S: FenceStrategy> Owner<S> {
     pub fn lock(&self) -> OwnerGuard<'_, S> {
         let l = &*self.lock;
         loop {
-            l.owner_flag.store(1, Ordering::Release);
+            store_usize(&l.owner_flag, 1, Ordering::Release);
             l.strategy.primary_fence();
-            if l.revoke_flag.load(Ordering::Acquire) == 0 {
+            if load_usize(&l.revoke_flag, Ordering::Acquire) == 0 {
                 l.owner_acquires.fetch_add(1, Ordering::Relaxed);
                 return OwnerGuard { lock: l };
             }
             // A revoker is active: retreat (revokers have priority).
-            l.owner_flag.store(0, Ordering::Release);
+            store_usize(&l.owner_flag, 0, Ordering::Release);
             l.owner_waits.fetch_add(1, Ordering::Relaxed);
-            spin_until(|| l.revoke_flag.load(Ordering::Acquire) == 0);
+            spin_until(|| load_usize(&l.revoke_flag, Ordering::Acquire) == 0);
         }
     }
 
@@ -128,19 +129,19 @@ pub struct OwnerGuard<'a, S: FenceStrategy> {
 
 impl<S: FenceStrategy> Drop for OwnerGuard<'_, S> {
     fn drop(&mut self) {
-        self.lock.owner_flag.store(0, Ordering::Release);
+        store_usize(&self.lock.owner_flag, 0, Ordering::Release);
     }
 }
 
 /// RAII guard for a revoker's critical section.
 pub struct RevokerGuard<'a, S: FenceStrategy> {
     lock: &'a BiasedLock<S>,
-    _inner: parking_lot::MutexGuard<'a, ()>,
+    _inner: MutexGuard<'a, ()>,
 }
 
 impl<S: FenceStrategy> Drop for RevokerGuard<'_, S> {
     fn drop(&mut self) {
-        self.lock.revoke_flag.store(0, Ordering::Release);
+        store_usize(&self.lock.revoke_flag, 0, Ordering::Release);
     }
 }
 

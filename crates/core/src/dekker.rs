@@ -16,9 +16,10 @@
 //! instantiated with [`Symmetric`](crate::strategy::Symmetric).
 
 use crate::fence::spin_until;
+use crate::hooks::{load_usize, store_usize};
 use crate::registry::{register_current_thread, Registration, RemoteThread};
 use crate::strategy::FenceStrategy;
-use crossbeam::utils::CachePadded;
+use crate::sync::{CachePadded, Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -38,7 +39,7 @@ pub struct AsymmetricDekker<S: FenceStrategy> {
     /// [`register_primary`](Self::register_primary).
     primary_thread: OnceLock<RemoteThread>,
     /// Secondaries compete for the right to engage the primary.
-    secondary_mutex: parking_lot::Mutex<()>,
+    secondary_mutex: Mutex<()>,
     /// Primary critical-section entries.
     pub primary_entries: AtomicU64,
     /// Secondary critical-section entries.
@@ -56,7 +57,7 @@ impl<S: FenceStrategy> AsymmetricDekker<S> {
             secondary_flag: CachePadded::new(AtomicUsize::new(0)),
             turn: CachePadded::new(AtomicUsize::new(TURN_PRIMARY)),
             primary_thread: OnceLock::new(),
-            secondary_mutex: parking_lot::Mutex::new(()),
+            secondary_mutex: Mutex::new(()),
             primary_entries: AtomicU64::new(0),
             secondary_entries: AtomicU64::new(0),
             primary_conflicts: AtomicU64::new(0),
@@ -90,28 +91,28 @@ impl<S: FenceStrategy> AsymmetricDekker<S> {
     pub fn secondary_lock(&self) -> SecondaryGuard<'_, S> {
         let inner = self.secondary_mutex.lock();
         loop {
-            self.secondary_flag.store(1, Ordering::Release); // J1
+            store_usize(&self.secondary_flag, 1, Ordering::Release); // J1
             self.strategy.secondary_fence(); // J2
             // Remotely force the primary to serialize so its (possibly
             // buffered) flag store becomes visible before we read it.
             if let Some(primary) = self.primary_thread.get() {
                 self.strategy.serialize_remote(primary);
             }
-            if self.primary_flag.load(Ordering::Acquire) == 0 {
+            if load_usize(&self.primary_flag, Ordering::Acquire) == 0 {
                 // J3: primary not competing — enter.
                 self.secondary_entries.fetch_add(1, Ordering::Relaxed);
                 return SecondaryGuard { dekker: self, _inner: inner };
             }
-            if self.turn.load(Ordering::Acquire) == TURN_PRIMARY {
+            if load_usize(&self.turn, Ordering::Acquire) == TURN_PRIMARY {
                 // Retreat and let the primary go first.
-                self.secondary_flag.store(0, Ordering::Release);
+                store_usize(&self.secondary_flag, 0, Ordering::Release);
                 spin_until(|| {
-                    self.turn.load(Ordering::Acquire) == TURN_SECONDARY
-                        || self.primary_flag.load(Ordering::Acquire) == 0
+                    load_usize(&self.turn, Ordering::Acquire) == TURN_SECONDARY
+                        || load_usize(&self.primary_flag, Ordering::Acquire) == 0
                 });
             } else {
                 // Our turn: hold the flag and wait the primary out.
-                spin_until(|| self.primary_flag.load(Ordering::Acquire) == 0);
+                spin_until(|| load_usize(&self.primary_flag, Ordering::Acquire) == 0);
                 self.secondary_entries.fetch_add(1, Ordering::Relaxed);
                 return SecondaryGuard { dekker: self, _inner: inner };
             }
@@ -122,16 +123,16 @@ impl<S: FenceStrategy> AsymmetricDekker<S> {
     /// critical section (or another secondary holds the inner mutex).
     pub fn try_secondary_lock(&self) -> Option<SecondaryGuard<'_, S>> {
         let inner = self.secondary_mutex.try_lock()?;
-        self.secondary_flag.store(1, Ordering::Release);
+        store_usize(&self.secondary_flag, 1, Ordering::Release);
         self.strategy.secondary_fence();
         if let Some(primary) = self.primary_thread.get() {
             self.strategy.serialize_remote(primary);
         }
-        if self.primary_flag.load(Ordering::Acquire) == 0 {
+        if load_usize(&self.primary_flag, Ordering::Acquire) == 0 {
             self.secondary_entries.fetch_add(1, Ordering::Relaxed);
             Some(SecondaryGuard { dekker: self, _inner: inner })
         } else {
-            self.secondary_flag.store(0, Ordering::Release);
+            store_usize(&self.secondary_flag, 0, Ordering::Release);
             None
         }
     }
@@ -148,22 +149,22 @@ impl<S: FenceStrategy> Primary<S> {
     pub fn lock(&self) -> PrimaryGuard<'_, S> {
         let d = &*self.dekker;
         loop {
-            d.primary_flag.store(1, Ordering::Release); // K1: guarded store
+            store_usize(&d.primary_flag, 1, Ordering::Release); // K1: guarded store
             d.strategy.primary_fence(); // the l-mfence position
-            if d.secondary_flag.load(Ordering::Acquire) == 0 {
+            if load_usize(&d.secondary_flag, Ordering::Acquire) == 0 {
                 // K2: no secondary competing — the common case.
                 d.primary_entries.fetch_add(1, Ordering::Relaxed);
                 return PrimaryGuard { dekker: d };
             }
             d.primary_conflicts.fetch_add(1, Ordering::Relaxed);
-            if d.turn.load(Ordering::Acquire) == TURN_SECONDARY {
-                d.primary_flag.store(0, Ordering::Release);
+            if load_usize(&d.turn, Ordering::Acquire) == TURN_SECONDARY {
+                store_usize(&d.primary_flag, 0, Ordering::Release);
                 spin_until(|| {
-                    d.turn.load(Ordering::Acquire) == TURN_PRIMARY
-                        || d.secondary_flag.load(Ordering::Acquire) == 0
+                    load_usize(&d.turn, Ordering::Acquire) == TURN_PRIMARY
+                        || load_usize(&d.secondary_flag, Ordering::Acquire) == 0
                 });
             } else {
-                spin_until(|| d.secondary_flag.load(Ordering::Acquire) == 0);
+                spin_until(|| load_usize(&d.secondary_flag, Ordering::Acquire) == 0);
                 d.primary_entries.fetch_add(1, Ordering::Relaxed);
                 return PrimaryGuard { dekker: d };
             }
@@ -173,14 +174,14 @@ impl<S: FenceStrategy> Primary<S> {
     /// Non-blocking fast-path attempt.
     pub fn try_lock(&self) -> Option<PrimaryGuard<'_, S>> {
         let d = &*self.dekker;
-        d.primary_flag.store(1, Ordering::Release);
+        store_usize(&d.primary_flag, 1, Ordering::Release);
         d.strategy.primary_fence();
-        if d.secondary_flag.load(Ordering::Acquire) == 0 {
+        if load_usize(&d.secondary_flag, Ordering::Acquire) == 0 {
             d.primary_entries.fetch_add(1, Ordering::Relaxed);
             Some(PrimaryGuard { dekker: d })
         } else {
             d.primary_conflicts.fetch_add(1, Ordering::Relaxed);
-            d.primary_flag.store(0, Ordering::Release);
+            store_usize(&d.primary_flag, 0, Ordering::Release);
             None
         }
     }
@@ -204,21 +205,21 @@ pub struct PrimaryGuard<'a, S: FenceStrategy> {
 
 impl<S: FenceStrategy> Drop for PrimaryGuard<'_, S> {
     fn drop(&mut self) {
-        self.dekker.turn.store(TURN_SECONDARY, Ordering::Release);
-        self.dekker.primary_flag.store(0, Ordering::Release); // K6
+        store_usize(&self.dekker.turn, TURN_SECONDARY, Ordering::Release);
+        store_usize(&self.dekker.primary_flag, 0, Ordering::Release); // K6
     }
 }
 
 /// RAII guard for a secondary's critical section.
 pub struct SecondaryGuard<'a, S: FenceStrategy> {
     dekker: &'a AsymmetricDekker<S>,
-    _inner: parking_lot::MutexGuard<'a, ()>,
+    _inner: MutexGuard<'a, ()>,
 }
 
 impl<S: FenceStrategy> Drop for SecondaryGuard<'_, S> {
     fn drop(&mut self) {
-        self.dekker.turn.store(TURN_PRIMARY, Ordering::Release);
-        self.dekker.secondary_flag.store(0, Ordering::Release); // J7
+        store_usize(&self.dekker.turn, TURN_PRIMARY, Ordering::Release);
+        store_usize(&self.dekker.secondary_flag, 0, Ordering::Release); // J7
     }
 }
 

@@ -8,21 +8,31 @@
 //! the paper's software prototype uses precisely this on the primary's fast
 //! path ("we achieve this simply by inserting a compiler fence").
 
+use crate::hooks;
 use std::sync::atomic::{compiler_fence, fence, Ordering};
 
 /// A full program-based memory fence (the paper's `mfence`): all stores
 /// before it are globally visible before any load after it executes.
+///
+/// Under an `lbmf-check` harness this additionally drains the calling
+/// virtual thread's modeled store buffer — the same drain the hardware
+/// fence performs on the real store buffer.
 #[inline]
 pub fn full_fence() {
     fence(Ordering::SeqCst);
+    hooks::fence_hook();
 }
 
 /// A compiler-only fence: prevents compile-time reordering across this
 /// point but emits no hardware fence. This is the primary-side cost of the
 /// software `l-mfence` prototype.
+///
+/// Under an `lbmf-check` harness this is a scheduling point that (by
+/// design) does **not** drain the modeled store buffer.
 #[inline]
 pub fn compiler_fence_only() {
     compiler_fence(Ordering::SeqCst);
+    hooks::compiler_fence_hook();
 }
 
 /// Spin until `cond()` holds, yielding to the OS scheduler after a short
@@ -33,6 +43,7 @@ pub fn compiler_fence_only() {
 pub fn spin_until(mut cond: impl FnMut() -> bool) {
     let mut spins = 0u32;
     while !cond() {
+        hooks::spin_yield();
         spins += 1;
         if spins < 64 {
             std::hint::spin_loop();
@@ -51,6 +62,7 @@ pub fn spin_for(budget_spins: u32, mut cond: impl FnMut() -> bool) -> bool {
         if cond() {
             return true;
         }
+        hooks::spin_yield();
         if s % 128 == 127 {
             std::thread::yield_now();
         } else {

@@ -1,0 +1,401 @@
+//! Check-harness instrumentation hooks.
+//!
+//! `lbmf-check` (the deterministic schedule-exploration harness) runs the
+//! *real* protocol implementations — [`dekker`](crate::dekker),
+//! [`biased`](crate::biased), [`arw`](crate::arw), and the `lbmf-cilk`
+//! THE-deque — under a controlled scheduler with a modeled TSO store
+//! buffer per virtual thread. For that to work, the protocols' shared
+//! flag accesses, fences, spin loops, and remote serializations are routed
+//! through the free functions in this module.
+//!
+//! Without the `check-hooks` feature every function here compiles to the
+//! plain atomic operation it wraps (`store_usize` *is* `a.store(v, o)`),
+//! so production builds pay nothing. With the feature enabled (test builds
+//! pull it in through the `lbmf-check` dev-dependency), each call first
+//! consults a thread-local [`VtHooks`] installation:
+//!
+//! * absent (ordinary threads, including the existing stress tests): the
+//!   plain operation runs, unchanged;
+//! * present (a virtual thread of an `lbmf-check` execution): the
+//!   operation becomes a *scheduling event* — stores go into the virtual
+//!   thread's modeled store buffer, loads forward from it, fences drain
+//!   it, and every event is a point where the exploration engine may
+//!   preempt the thread.
+//!
+//! The hook trait works on type-erased [`Loc`] handles so one small
+//! object-safe interface covers every atomic width the protocols use.
+
+use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+/// Why a virtual thread reached a yield point (recorded in failure
+/// traces; the numbering is part of the replay format).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum YieldKind {
+    /// A compiler-only fence (the asymmetric primary's `l-mfence` slot).
+    CompilerFence,
+    /// An explicit yield inserted by a test body (e.g. inside a critical
+    /// section, so conflicting threads can interleave there).
+    Explicit,
+}
+
+/// A type-erased handle to one of the atomic shared locations the
+/// protocols synchronize through.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// An `AtomicUsize` (Dekker and biased-lock flags).
+    Usize(*const AtomicUsize),
+    /// An `AtomicU64` (ARW reader flags, write intent, ack epochs).
+    U64(*const AtomicU64),
+    /// An `AtomicI64` (THE-deque head/tail).
+    I64(*const AtomicI64),
+    /// An `AtomicPtr`, erased to `u8` (THE-deque job slots).
+    Ptr(*const AtomicPtr<u8>),
+}
+
+impl Loc {
+    /// Stable identity of the underlying cell (its address).
+    pub fn key(&self) -> usize {
+        match *self {
+            Loc::Usize(p) => p as usize,
+            Loc::U64(p) => p as usize,
+            Loc::I64(p) => p as usize,
+            Loc::Ptr(p) => p as usize,
+        }
+    }
+
+    /// Read the globally committed value, bit-cast to `u64`.
+    ///
+    /// # Safety
+    ///
+    /// The pointed-to atomic must still be alive. The harness guarantees
+    /// this by joining every virtual thread (and dropping all pending
+    /// buffer entries) before the execution's shared state is torn down.
+    pub unsafe fn committed_load(&self) -> u64 {
+        match *self {
+            Loc::Usize(p) => (*p).load(Ordering::SeqCst) as u64,
+            Loc::U64(p) => (*p).load(Ordering::SeqCst),
+            Loc::I64(p) => (*p).load(Ordering::SeqCst) as u64,
+            Loc::Ptr(p) => (*p).load(Ordering::SeqCst) as u64,
+        }
+    }
+
+    /// Commit `val` (bit-cast from `u64`) to the underlying atomic — the
+    /// modeled store buffer draining one entry.
+    ///
+    /// # Safety
+    ///
+    /// Same liveness contract as [`Loc::committed_load`].
+    pub unsafe fn commit(&self, val: u64) {
+        match *self {
+            Loc::Usize(p) => (*p).store(val as usize, Ordering::SeqCst),
+            Loc::U64(p) => (*p).store(val, Ordering::SeqCst),
+            Loc::I64(p) => (*p).store(val as i64, Ordering::SeqCst),
+            Loc::Ptr(p) => (*p).store(val as *mut u8, Ordering::SeqCst),
+        }
+    }
+}
+
+/// The interface a controlled scheduler implements to intercept a virtual
+/// thread's shared-memory operations.
+///
+/// All methods are called from the virtual thread itself, at the moment
+/// the operation would execute. Implementations may block the calling
+/// thread (that is the whole point: handing control to another virtual
+/// thread) but must eventually return or unwind.
+pub trait VtHooks {
+    /// A store to a shared location: enqueue into the thread's modeled
+    /// store buffer (the real atomic is written later, at a drain point).
+    fn op_store(&self, loc: Loc, val: u64);
+    /// A load from a shared location: newest own-buffer entry for `loc`
+    /// if any (TSO store forwarding), else the committed value.
+    fn op_load(&self, loc: Loc) -> u64;
+    /// A full fence executed by this thread: drain its store buffer.
+    fn op_fence(&self);
+    /// A non-draining scheduling point (compiler fence, explicit yield).
+    fn op_yield(&self, kind: YieldKind);
+    /// One iteration of a spin-wait loop. Schedulers treat this as "give
+    /// way": another runnable thread must be scheduled if one exists.
+    fn spin_yield(&self);
+    /// A remote serialization of the thread registered under `slot_key`
+    /// (the paper's "T2 enforces the fence onto T1"): drain *that*
+    /// thread's store buffer.
+    fn serialize(&self, slot_key: usize);
+    /// The calling virtual thread registered itself for remote
+    /// serialization under `slot_key`.
+    fn on_register(&self, slot_key: usize);
+}
+
+#[cfg(feature = "check-hooks")]
+mod active {
+    use super::VtHooks;
+    use std::cell::RefCell;
+    use std::sync::Arc;
+
+    thread_local! {
+        static HOOKS: RefCell<Option<Arc<dyn VtHooks>>> = const { RefCell::new(None) };
+    }
+
+    /// Install `hooks` for the calling thread; restored on guard drop.
+    pub fn install(hooks: Arc<dyn VtHooks>) -> InstallGuard {
+        let previous = HOOKS.with(|h| h.borrow_mut().replace(hooks));
+        InstallGuard { previous }
+    }
+
+    /// The calling thread's installed hooks, if any.
+    pub fn current() -> Option<Arc<dyn VtHooks>> {
+        HOOKS.with(|h| h.borrow().clone())
+    }
+
+    /// RAII restoration of the previously installed hooks.
+    pub struct InstallGuard {
+        previous: Option<Arc<dyn VtHooks>>,
+    }
+
+    impl Drop for InstallGuard {
+        fn drop(&mut self) {
+            let previous = self.previous.take();
+            HOOKS.with(|h| *h.borrow_mut() = previous);
+        }
+    }
+}
+
+#[cfg(feature = "check-hooks")]
+pub use active::{current, install, InstallGuard};
+
+macro_rules! hooked_atomic {
+    ($store:ident, $load:ident, $atomic:ty, $value:ty, $variant:ident) => {
+        /// Instrumented store: a modeled-TSO buffer write under a check
+        /// harness, the plain atomic store otherwise.
+        #[inline]
+        pub fn $store(a: &$atomic, v: $value, order: Ordering) {
+            #[cfg(feature = "check-hooks")]
+            if let Some(h) = current() {
+                h.op_store(Loc::$variant(a as *const _), v as u64);
+                return;
+            }
+            a.store(v, order);
+        }
+
+        /// Instrumented load: store-forwarded under a check harness, the
+        /// plain atomic load otherwise.
+        #[inline]
+        pub fn $load(a: &$atomic, order: Ordering) -> $value {
+            #[cfg(feature = "check-hooks")]
+            if let Some(h) = current() {
+                return h.op_load(Loc::$variant(a as *const _)) as $value;
+            }
+            a.load(order)
+        }
+    };
+}
+
+hooked_atomic!(store_usize, load_usize, AtomicUsize, usize, Usize);
+hooked_atomic!(store_u64, load_u64, AtomicU64, u64, U64);
+hooked_atomic!(store_i64, load_i64, AtomicI64, i64, I64);
+
+/// Instrumented pointer store (THE-deque job slots).
+#[inline]
+pub fn store_ptr<T>(a: &AtomicPtr<T>, v: *mut T, order: Ordering) {
+    #[cfg(feature = "check-hooks")]
+    if let Some(h) = current() {
+        // SAFETY: AtomicPtr<T> and AtomicPtr<u8> share layout (both wrap
+        // one pointer-sized word); the erased handle only ever stores a
+        // whole pointer value back through it.
+        let erased = unsafe { &*(a as *const AtomicPtr<T> as *const AtomicPtr<u8>) };
+        h.op_store(Loc::Ptr(erased as *const _), v as usize as u64);
+        return;
+    }
+    a.store(v, order);
+}
+
+/// Instrumented pointer load (THE-deque job slots).
+#[inline]
+pub fn load_ptr<T>(a: &AtomicPtr<T>, order: Ordering) -> *mut T {
+    #[cfg(feature = "check-hooks")]
+    if let Some(h) = current() {
+        // SAFETY: see `store_ptr`.
+        let erased = unsafe { &*(a as *const AtomicPtr<T> as *const AtomicPtr<u8>) };
+        return h.op_load(Loc::Ptr(erased as *const _)) as usize as *mut T;
+    }
+    a.load(order)
+}
+
+/// Hook half of [`full_fence`](crate::fence::full_fence): drains the
+/// virtual thread's modeled store buffer under a harness.
+#[inline]
+pub fn fence_hook() {
+    #[cfg(feature = "check-hooks")]
+    if let Some(h) = current() {
+        h.op_fence();
+    }
+}
+
+/// Hook half of
+/// [`compiler_fence_only`](crate::fence::compiler_fence_only): a
+/// scheduling point that deliberately does **not** drain the buffer —
+/// that asymmetry is what the harness exists to check.
+#[inline]
+pub fn compiler_fence_hook() {
+    #[cfg(feature = "check-hooks")]
+    if let Some(h) = current() {
+        h.op_yield(YieldKind::CompilerFence);
+    }
+}
+
+/// Hook for the sync shims' lock operations ([`crate::sync::Mutex`] /
+/// [`crate::sync::RwLock`] acquire attempts and releases): drains the
+/// virtual thread's modeled store buffer under a harness.
+///
+/// On x86 a lock acquire attempt is a `lock`-prefixed RMW, which drains
+/// the store buffer whether or not it wins; a lock release is a plain
+/// store that FIFO-orders after every earlier buffered store. Either way,
+/// by the time another thread observes the lock word's new value, the
+/// issuing thread's earlier stores are globally visible. The sync shims
+/// use *unmodeled* std atomics whose effects the serialized harness makes
+/// visible immediately — so the modeled buffer must drain at the same
+/// moment, or the model would admit executions TSO forbids (e.g. a
+/// thief's retreated deque head still buffered after its lock release).
+#[inline]
+pub fn lock_fence_hook() {
+    #[cfg(feature = "check-hooks")]
+    if let Some(h) = current() {
+        h.op_fence();
+    }
+}
+
+/// One spin-loop iteration (called by
+/// [`spin_until`](crate::fence::spin_until) /
+/// [`spin_for`](crate::fence::spin_for) and the sync shims).
+#[inline]
+pub fn spin_yield() {
+    #[cfg(feature = "check-hooks")]
+    if let Some(h) = current() {
+        h.spin_yield();
+    }
+}
+
+/// An explicit yield for test bodies (e.g. inside a critical section).
+#[inline]
+pub fn explicit_yield() {
+    #[cfg(feature = "check-hooks")]
+    if let Some(h) = current() {
+        h.op_yield(YieldKind::Explicit);
+    }
+}
+
+/// Remote serialization of the thread registered under `slot_key`.
+/// Returns `true` when a harness modeled it (callers then skip the real
+/// signal round trip — the virtual target has no real store buffer worth
+/// draining, only the modeled one).
+#[inline]
+pub fn serialize_hook(slot_key: usize) -> bool {
+    #[cfg(feature = "check-hooks")]
+    if let Some(h) = current() {
+        h.serialize(slot_key);
+        return true;
+    }
+    let _ = slot_key;
+    false
+}
+
+/// Report the calling virtual thread's *deregistration* as a
+/// serialization target: drains its modeled store buffer under a harness.
+///
+/// The deactivation store in [`Registration::drop`]
+/// (`crate::registry::Registration`) FIFO-orders after every store the
+/// thread buffered earlier, so on x86 any thread that observes the slot
+/// inactive (and therefore skips the remote serialization) is guaranteed
+/// to also observe those stores. The slot flag itself is an unmodeled std
+/// atomic — immediately visible under the serialized harness — so the
+/// modeled buffer must drain before it flips.
+#[inline]
+pub fn deregister_hook() {
+    #[cfg(feature = "check-hooks")]
+    if let Some(h) = current() {
+        h.op_fence();
+    }
+}
+
+/// Report the calling thread's registration for remote serialization.
+#[inline]
+pub fn register_hook(slot_key: usize) {
+    #[cfg(feature = "check-hooks")]
+    if let Some(h) = current() {
+        h.on_register(slot_key);
+    }
+    #[cfg(not(feature = "check-hooks"))]
+    let _ = slot_key;
+}
+
+#[cfg(all(test, feature = "check-hooks"))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Default)]
+    struct Recorder {
+        events: Mutex<Vec<String>>,
+    }
+
+    impl VtHooks for Recorder {
+        fn op_store(&self, loc: Loc, val: u64) {
+            self.events.lock().unwrap().push(format!("store {val}"));
+            // Commit immediately: this recorder models an empty buffer.
+            unsafe { loc.commit(val) };
+        }
+        fn op_load(&self, loc: Loc) -> u64 {
+            self.events.lock().unwrap().push("load".into());
+            unsafe { loc.committed_load() }
+        }
+        fn op_fence(&self) {
+            self.events.lock().unwrap().push("fence".into());
+        }
+        fn op_yield(&self, kind: YieldKind) {
+            self.events.lock().unwrap().push(format!("yield {kind:?}"));
+        }
+        fn spin_yield(&self) {
+            self.events.lock().unwrap().push("spin".into());
+        }
+        fn serialize(&self, _slot_key: usize) {
+            self.events.lock().unwrap().push("serialize".into());
+        }
+        fn on_register(&self, _slot_key: usize) {
+            self.events.lock().unwrap().push("register".into());
+        }
+    }
+
+    #[test]
+    fn wrappers_route_through_installed_hooks_and_restore_on_drop() {
+        let rec = Arc::new(Recorder::default());
+        let cell = AtomicUsize::new(0);
+        {
+            let _guard = install(rec.clone());
+            store_usize(&cell, 7, Ordering::Release);
+            assert_eq!(load_usize(&cell, Ordering::Acquire), 7);
+            fence_hook();
+            spin_yield();
+            assert!(serialize_hook(123));
+        }
+        // Uninstalled: plain operations, no recording.
+        store_usize(&cell, 9, Ordering::Release);
+        assert!(!serialize_hook(123));
+        assert_eq!(cell.load(Ordering::Relaxed), 9);
+        let events = rec.events.lock().unwrap().clone();
+        assert_eq!(events, ["store 7", "load", "fence", "spin", "serialize"]);
+    }
+
+    #[test]
+    fn nested_installs_restore_previous() {
+        let outer = Arc::new(Recorder::default());
+        let inner = Arc::new(Recorder::default());
+        let _g1 = install(outer.clone());
+        {
+            let _g2 = install(inner.clone());
+            spin_yield();
+        }
+        spin_yield();
+        assert_eq!(inner.events.lock().unwrap().len(), 1);
+        assert_eq!(outer.events.lock().unwrap().len(), 1);
+    }
+}

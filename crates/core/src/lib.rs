@@ -66,12 +66,15 @@ pub mod arw;
 pub mod biased;
 pub mod dekker;
 pub mod fence;
+pub mod hooks;
 pub mod litmus;
 pub mod owned;
 pub mod registry;
 pub mod safepoint;
 pub mod stats;
 pub mod strategy;
+pub mod sync;
+pub mod sys;
 
 /// The commonly used surface of the crate.
 pub mod prelude {

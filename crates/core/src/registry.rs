@@ -14,6 +14,8 @@
 //! handler needs no thread-local lookup — it is a handful of
 //! async-signal-safe atomic operations.
 
+use crate::sys;
+use std::os::raw::{c_int, c_void};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Once};
 
@@ -34,7 +36,7 @@ pub struct ThreadSlot {
 }
 
 impl ThreadSlot {
-    fn new(pthread: libc::pthread_t) -> Self {
+    fn new(pthread: sys::pthread_t) -> Self {
         ThreadSlot {
             #[allow(clippy::unnecessary_cast)] // pthread_t width varies by platform
             pthread: AtomicU64::new(pthread as u64),
@@ -72,9 +74,9 @@ impl RemoteThread {
     /// it to skip self-serialization (a thread is trivially serialized
     /// with respect to itself).
     pub fn is_current(&self) -> bool {
-        let stored = self.slot.pthread.load(Ordering::Acquire) as libc::pthread_t;
+        let stored = self.slot.pthread.load(Ordering::Acquire) as sys::pthread_t;
         // SAFETY: pthread_equal on a live id and pthread_self.
-        unsafe { libc::pthread_equal(stored, libc::pthread_self()) != 0 }
+        unsafe { sys::pthread_equal(stored, sys::pthread_self()) != 0 }
     }
 
     /// Send one serialization signal and wait for the handler's ack.
@@ -88,13 +90,19 @@ impl RemoteThread {
         if !self.slot.is_active() {
             return false;
         }
+        // Under a check harness the target is a *virtual* thread: the
+        // harness drains its modeled store buffer and no real signal is
+        // needed (or wanted — the scheduler has the target suspended).
+        if crate::hooks::serialize_hook(Arc::as_ptr(&self.slot) as usize) {
+            return true;
+        }
         let before = self.slot.ack.load(Ordering::Acquire);
         let sig = serialization_signal();
-        let value = libc::sigval {
-            sival_ptr: Arc::as_ptr(&self.slot) as *mut libc::c_void,
+        let value = sys::sigval {
+            sival_ptr: Arc::as_ptr(&self.slot) as *mut c_void,
         };
-        let pthread = self.slot.pthread.load(Ordering::Acquire) as libc::pthread_t;
-        let rc = unsafe { libc::pthread_sigqueue(pthread, sig, value) };
+        let pthread = self.slot.pthread.load(Ordering::Acquire) as sys::pthread_t;
+        let rc = unsafe { sys::pthread_sigqueue(pthread, sig, value) };
         if rc != 0 {
             // ESRCH etc.: the thread is gone; nothing to serialize.
             self.slot.active.store(false, Ordering::Release);
@@ -122,23 +130,25 @@ impl Registration {
 
 impl Drop for Registration {
     fn drop(&mut self) {
+        // Drain the modeled store buffer (check harness only) before the
+        // deactivation becomes visible: a thread that sees the slot
+        // inactive skips serializing us, which is only sound if our
+        // earlier stores are already globally visible — which x86's FIFO
+        // buffer guarantees, and the model must too.
+        crate::hooks::deregister_hook();
         self.remote.slot.active.store(false, Ordering::Release);
     }
 }
 
 /// The real-time signal used for serialization requests.
-fn serialization_signal() -> libc::c_int {
-    libc::SIGRTMIN() + 3
+fn serialization_signal() -> c_int {
+    sys::SIGRTMIN() + 3
 }
 
 /// The signal handler: the kernel's delivery path has already drained the
 /// receiving CPU's store buffer (that is the prototype's entire mechanism);
 /// we add an explicit fence for portability, then ack.
-extern "C" fn serialize_handler(
-    _sig: libc::c_int,
-    info: *mut libc::siginfo_t,
-    _ctx: *mut libc::c_void,
-) {
+extern "C" fn serialize_handler(_sig: c_int, info: *mut sys::siginfo_t, _ctx: *mut c_void) {
     // SAFETY: senders always place a valid `*const ThreadSlot` in si_value
     // and keep the Arc alive until the ack arrives.
     unsafe {
@@ -155,13 +165,15 @@ extern "C" fn serialize_handler(
 fn install_handler_once() {
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| unsafe {
-        let mut sa: libc::sigaction = std::mem::zeroed();
-        sa.sa_sigaction = serialize_handler
-            as extern "C" fn(libc::c_int, *mut libc::siginfo_t, *mut libc::c_void)
-            as usize;
-        sa.sa_flags = libc::SA_SIGINFO | libc::SA_RESTART;
-        libc::sigemptyset(&mut sa.sa_mask);
-        let rc = libc::sigaction(serialization_signal(), &sa, std::ptr::null_mut());
+        let sa = sys::sigaction_t {
+            sa_sigaction: serialize_handler
+                as extern "C" fn(c_int, *mut sys::siginfo_t, *mut c_void)
+                as usize,
+            sa_mask: sys::sigset_t::empty(),
+            sa_flags: sys::SA_SIGINFO | sys::SA_RESTART,
+            sa_restorer: 0,
+        };
+        let rc = sys::sigaction(serialization_signal(), &sa, std::ptr::null_mut());
         assert_eq!(rc, 0, "failed to install serialization signal handler");
     });
 }
@@ -177,8 +189,12 @@ fn registry() -> &'static Mutex<Vec<Arc<ThreadSlot>>> {
 /// process-wide signal handler on first use.
 pub fn register_current_thread() -> Registration {
     install_handler_once();
-    let slot = Arc::new(ThreadSlot::new(unsafe { libc::pthread_self() }));
+    let slot = Arc::new(ThreadSlot::new(unsafe { sys::pthread_self() }));
     registry().lock().unwrap().push(slot.clone());
+    // Let an active check harness map this slot to its virtual thread, so
+    // later `serialize_hook` calls with the same key drain that thread's
+    // modeled store buffer.
+    crate::hooks::register_hook(Arc::as_ptr(&slot) as usize);
     Registration {
         remote: RemoteThread { slot },
     }

@@ -1,0 +1,405 @@
+//! Std-backed synchronization shims with `parking_lot`-style APIs.
+//!
+//! The workspace builds offline, so the `parking_lot` and `crossbeam`
+//! crates are out of reach; the few pieces the repo used live here
+//! instead:
+//!
+//! * [`CachePadded`] — pad-and-align to 128 bytes so hot flags of
+//!   different threads never share a cache line (two 64-byte lines: the
+//!   spatial prefetcher pulls line pairs on modern x86);
+//! * [`Mutex`] / [`RwLock`] — `std` locks minus poisoning, with
+//!   `lock()` returning the guard directly and `try_lock()` returning an
+//!   `Option`, exactly the `parking_lot` calling convention the protocol
+//!   code was written against;
+//! * [`Condvar`] — a condition variable whose `wait_for` *consumes and
+//!   returns* the guard (our guards wrap an `Option` so the std handoff
+//!   can happen inside).
+//!
+//! All blocking entry points are harness-aware: under an active
+//! `lbmf-check` virtual-thread scheduler (see [`crate::hooks`]) they
+//! spin through `hooks::spin_yield()` instead of parking the OS thread,
+//! because a controlled scheduler must see every wait as a scheduling
+//! point — an OS-blocked virtual thread would deadlock the exploration.
+
+use crate::hooks;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{PoisonError, TryLockError};
+use std::time::Duration;
+
+/// Pads and aligns a value to 128 bytes (a spatial-prefetch pair of
+/// cache lines) to prevent false sharing between adjacent hot atomics.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value`.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+/// A mutual-exclusion lock; `lock()` hands back the guard directly
+/// (poisoning is ignored: a panicking critical section in this codebase
+/// is already a failed test).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is held. Under a check harness this spins
+    /// through the virtual scheduler rather than parking the OS thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        loop {
+            if let Some(guard) = self.try_lock() {
+                return guard;
+            }
+            hooks::spin_yield();
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Acquire without blocking; `None` if the lock is held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        // On x86 the acquire attempt is a locked RMW: it drains the store
+        // buffer, win or lose. Model that (no-op outside a harness).
+        hooks::lock_fence_hook();
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                mutex: self,
+                inner: Some(g),
+            }),
+            Err(TryLockError::WouldBlock) => None,
+            Err(TryLockError::Poisoned(p)) => Some(MutexGuard {
+                mutex: self,
+                inner: Some(p.into_inner()),
+            }),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    // `Option` so Condvar::wait_for can move the std guard out and back.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // The release store FIFO-orders after earlier buffered stores; the
+        // real unlock below is visible immediately under the harness, so
+        // drain the modeled buffer first (no-op outside a harness).
+        hooks::lock_fence_hook();
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+/// A readers-writer lock with the `parking_lot` calling convention.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// A new unlocked rwlock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Block until a shared read guard is held.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        loop {
+            if let Some(g) = self.try_read() {
+                return g;
+            }
+            hooks::spin_yield();
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Block until the exclusive write guard is held.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        loop {
+            if let Some(g) = self.try_write() {
+                return g;
+            }
+            hooks::spin_yield();
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Non-blocking shared acquire.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        hooks::lock_fence_hook();
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { inner: g }),
+            Err(TryLockError::WouldBlock) => None,
+            Err(TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                inner: p.into_inner(),
+            }),
+        }
+    }
+
+    /// Non-blocking exclusive acquire.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        hooks::lock_fence_hook();
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { inner: g }),
+            Err(TryLockError::WouldBlock) => None,
+            Err(TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                inner: p.into_inner(),
+            }),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        hooks::lock_fence_hook();
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        hooks::lock_fence_hook();
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A condition variable paired with [`Mutex`]. `wait_for` consumes the
+/// guard and returns it reacquired, which keeps the std guard handoff
+/// hidden and stays harness-safe (under a check scheduler the wait
+/// degrades to unlock → virtual yield → relock).
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wait until notified or `timeout` elapses; returns the reacquired
+    /// guard. Spurious wakeups are allowed (callers already loop).
+    pub fn wait_for<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> MutexGuard<'a, T> {
+        #[cfg(feature = "check-hooks")]
+        if hooks::current().is_some() {
+            let mutex = guard.mutex;
+            drop(guard);
+            hooks::spin_yield();
+            return mutex.lock();
+        }
+        let mutex = guard.mutex;
+        let std_guard = guard.inner.take().expect("guard present");
+        let (reacquired, _timed_out) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            mutex,
+            inner: Some(reacquired),
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn cache_padded_is_128_aligned_and_transparent() {
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(p.into_inner(), 7);
+    }
+
+    #[test]
+    fn mutex_excludes_and_try_lock_observes_holder() {
+        let m = Mutex::new(0u32);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn mutex_contended_increments_are_lossless() {
+        let m = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = RwLock::new(5i32);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 10);
+        assert!(l.try_write().is_none());
+        drop((r1, r2));
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_wait_for_returns_reacquired_guard() {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            *m2.lock() = true;
+            cv2.notify_all();
+        });
+        let mut guard = m.lock();
+        let woke = Arc::new(AtomicUsize::new(0));
+        while !*guard {
+            guard = cv.wait_for(guard, Duration::from_millis(50));
+            woke.fetch_add(1, Ordering::Relaxed);
+        }
+        assert!(*guard);
+        drop(guard);
+        waker.join().unwrap();
+    }
+}

@@ -1,0 +1,106 @@
+//! Public-API coverage for the real-thread litmus harness
+//! ([`lbmf::litmus`]): histogram bookkeeping and the forbidden-outcome
+//! direction of the store-buffering test.
+//!
+//! These run on live OS threads (no check harness), so on a single-core
+//! host they can only assert the *absence* of the forbidden `(0, 0)`
+//! outcome under correctly paired fences — which holds on any host — not
+//! its presence without them.
+
+use lbmf::litmus::{run_sb_litmus, LitmusHistogram};
+use lbmf::strategy::{SignalFence, Symmetric};
+use std::sync::Arc;
+
+#[test]
+fn histogram_record_count_total() {
+    let mut h = LitmusHistogram::default();
+    assert_eq!(h.total(), 0);
+    assert_eq!(h.count((0, 0)), 0, "unseen outcomes count zero");
+
+    h.record((1, 0));
+    h.record((0, 1));
+    h.record((1, 0));
+    h.record((1, 1));
+
+    assert_eq!(h.count((1, 0)), 2);
+    assert_eq!(h.count((0, 1)), 1);
+    assert_eq!(h.count((1, 1)), 1);
+    assert_eq!(h.count((0, 0)), 0);
+    assert_eq!(h.total(), 4);
+}
+
+#[test]
+fn histogram_outcomes_iterate_in_sorted_order() {
+    let mut h = LitmusHistogram::default();
+    // Insert deliberately out of order; iteration must sort by outcome.
+    h.record((1, 1));
+    h.record((0, 1));
+    h.record((1, 0));
+    h.record((0, 0));
+    h.record((0, 1));
+
+    let seen: Vec<((u64, u64), u64)> = h.outcomes().map(|(o, n)| (*o, *n)).collect();
+    assert_eq!(
+        seen,
+        vec![((0, 0), 1), ((0, 1), 2), ((1, 0), 1), ((1, 1), 1)],
+        "BTreeMap ordering is part of the report format"
+    );
+}
+
+#[test]
+fn histogram_display_lists_every_outcome_with_counts() {
+    let mut h = LitmusHistogram::default();
+    h.record((0, 1));
+    h.record((1, 1));
+    h.record((1, 1));
+    let text = format!("{h}");
+    assert!(text.contains("r0=0 r1=1 : 1"), "got:\n{text}");
+    assert!(text.contains("r0=1 r1=1 : 2"), "got:\n{text}");
+    // Sorted order also shows up in the rendered text.
+    assert!(
+        text.find("r0=0").unwrap() < text.find("r0=1").unwrap(),
+        "display follows outcome order:\n{text}"
+    );
+}
+
+#[test]
+fn histogram_display_of_empty_is_empty() {
+    let h = LitmusHistogram::default();
+    assert_eq!(format!("{h}"), "");
+    assert_eq!(h.outcomes().count(), 0);
+}
+
+#[test]
+fn equal_histograms_compare_equal() {
+    let mut a = LitmusHistogram::default();
+    let mut b = LitmusHistogram::default();
+    a.record((1, 0));
+    a.record((0, 1));
+    b.record((0, 1));
+    b.record((1, 0));
+    assert_eq!(a, b, "recording order must not matter");
+}
+
+const ITERS: u64 = 2_000;
+
+#[test]
+fn symmetric_litmus_forbids_relaxed_outcome_on_any_host() {
+    let h = run_sb_litmus(Arc::new(Symmetric::new()), ITERS);
+    assert_eq!(h.total(), ITERS, "every iteration records exactly once");
+    assert_eq!(h.count((0, 0)), 0, "mfence pair forbids 0/0:\n{h}");
+    // All observed register values are 0/1.
+    for (&(a, b), _) in h.outcomes() {
+        assert!(a <= 1 && b <= 1, "impossible register value ({a},{b})");
+    }
+}
+
+#[test]
+fn location_based_litmus_forbids_relaxed_outcome_on_any_host() {
+    let h = run_sb_litmus(Arc::new(SignalFence::new()), ITERS);
+    assert_eq!(h.total(), ITERS);
+    assert_eq!(
+        h.count((0, 0)),
+        0,
+        "compiler fence + remote serialization forbids 0/0:\n{h}"
+    );
+}

@@ -1,0 +1,264 @@
+//! # lbmf-prng — in-repo deterministic PRNGs
+//!
+//! The experiment hosts build with **no network access**, so the workspace
+//! cannot pull `rand` from a registry. Everything in this repo that needs
+//! randomness — the simulator's random-schedule runner, victim selection in
+//! the work-stealing scheduler, seeded property tests, and the
+//! `lbmf-check` exploration engines — uses these two small, well-studied
+//! generators instead:
+//!
+//! * [`SplitMix64`] (Steele, Lea & Flood; the `java.util.SplittableRandom`
+//!   mixer): a one-word state generator that equidistributes over 64-bit
+//!   outputs. Ideal for seeding, per-thread streams, and replayable
+//!   schedule exploration, where the *entire* decision sequence must be a
+//!   pure function of one `u64` seed.
+//! * [`Xoshiro256StarStar`] (Blackman & Vigna): a 256-bit-state
+//!   general-purpose generator for longer random-walk workloads.
+//!
+//! Both implement the tiny [`Rng`] trait, which deliberately mirrors the
+//! handful of `rand` methods the repo used (`random_range`, bounded
+//! integers, shuffling) so call sites read the same.
+//!
+//! Determinism is a feature, not a compromise: `LBMF_CHECK_SEED=… cargo
+//! test` must reproduce a failing interleaving byte-for-byte, which rules
+//! out any generator whose stream could change under a dependency bump.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// The golden-gamma increment of SplitMix64.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Minimal random-number interface shared by all in-repo generators.
+pub trait Rng {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits (upper half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: Rng::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `usize` in `range` (half-open). Panics on an empty range.
+    fn random_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "random_range on empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.bounded_u64(span) as usize)
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire's multiply-shift with a
+    /// rejection step (unbiased). Panics if `bound == 0`.
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded_u64 with zero bound");
+        // Rejection sampling over the widened product keeps the result
+        // exactly uniform for every bound, not just powers of two.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn random_ratio(&mut self, numerator: u64, denominator: u64) -> bool {
+        assert!(denominator > 0);
+        self.bounded_u64(denominator) < numerator
+    }
+
+    /// Fisher–Yates shuffle of `slice`.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of `slice`, or `None` if empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.random_range(0..slice.len())])
+        }
+    }
+}
+
+/// SplitMix64: one `u64` of state, one multiply-xor-shift mix per output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose entire stream is a function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// `rand`-flavoured alias for [`SplitMix64::new`], so ported call
+    /// sites (`StdRng::seed_from_u64`) read the same.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed)
+    }
+
+    /// The canonical SplitMix64 output function.
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        Self::mix(self.state)
+    }
+}
+
+/// xoshiro256**: 256 bits of state, period 2^256 − 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seed the full state from one `u64` through SplitMix64, as the
+    /// xoshiro authors recommend.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        // The all-zero state is the one fixed point; the mixer cannot
+        // produce it from four consecutive outputs, but guard anyway.
+        if s == [0; 4] {
+            s[0] = GOLDEN_GAMMA;
+        }
+        Xoshiro256StarStar { s }
+    }
+
+    /// `rand`-flavoured alias for [`Xoshiro256StarStar::new`].
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        // Reference outputs for seed 1234567 from the public-domain C
+        // implementation (Vigna).
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+        assert_eq!(r.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut x = Xoshiro256StarStar::new(42);
+        let mut y = Xoshiro256StarStar::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(x.next_u64(), y.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds_and_hits_all_values() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.random_range(10..15);
+            assert!((10..15).contains(&v));
+            seen[v - 10] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn bounded_u64_is_roughly_uniform() {
+        let mut r = Xoshiro256StarStar::new(99);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[r.bounded_u64(4) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn random_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..100 {
+            let f = r.random_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "32 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut r = SplitMix64::new(5);
+        assert_eq!(r.choose::<u32>(&[]), None);
+        assert_eq!(r.choose(&[9]), Some(&9));
+    }
+}

@@ -834,8 +834,7 @@ impl Machine {
 
     /// Run by sampling transitions uniformly at random. Returns whether the
     /// machine reached a terminal state within `max_steps`.
-    pub fn run_random(&mut self, rng: &mut impl rand::Rng, max_steps: usize) -> bool {
-        use rand::RngExt as _;
+    pub fn run_random(&mut self, rng: &mut impl lbmf_prng::Rng, max_steps: usize) -> bool {
         for _ in 0..max_steps {
             if self.is_terminal() {
                 return true;
@@ -1138,12 +1137,11 @@ mod tests {
 
     #[test]
     fn random_runner_reaches_terminal() {
-        use rand::SeedableRng;
         let mut b0 = ProgramBuilder::new("a");
         b0.st(Addr(1), 1u64).ld(0, Addr(2)).halt();
         let mut b1 = ProgramBuilder::new("b");
         b1.st(Addr(2), 1u64).ld(0, Addr(1)).halt();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = lbmf_prng::SplitMix64::seed_from_u64(7);
         let mut m = machine(vec![b0.build(), b1.build()]);
         assert!(m.run_random(&mut rng, 10_000));
         m.check_coherence().unwrap();

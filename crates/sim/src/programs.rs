@@ -399,8 +399,7 @@ mod tests {
             ..DekkerOptions::default()
         };
         let mut m = Machine::for_checking(dekker_pair([FenceKind::Mfence, FenceKind::Mfence], opt));
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = lbmf_prng::SplitMix64::seed_from_u64(42);
         let done = m.run_random(&mut rng, 200_000);
         assert!(done, "random run should finish");
         assert_eq!(m.mutex_violations, 0);

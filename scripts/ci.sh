@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 gate plus a capped lbmf-check smoke pass.
+#
+# Tier-1 (must stay green): release build + full workspace test suite.
+# Smoke: the check harness proves the asymmetric Dekker lock safe under
+# bounded DFS (preemption bound 2) and demonstrates it still *finds* the
+# store-buffering violation when serialization is removed. The example
+# self-enforces a 5-second budget and exits nonzero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: workspace tests =="
+cargo test --workspace -q
+
+echo "== lbmf-check smoke pass (DFS, preemption bound 2, <5s) =="
+cargo run -p lbmf-check --example smoke --release
+
+echo "ci: all green"

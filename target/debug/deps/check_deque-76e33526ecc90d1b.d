@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_deque-76e33526ecc90d1b.d: crates/cilk/tests/check_deque.rs
+
+/root/repo/target/debug/deps/check_deque-76e33526ecc90d1b: crates/cilk/tests/check_deque.rs
+
+crates/cilk/tests/check_deque.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_protocols-7060493cea78e5a1.d: crates/core/tests/check_protocols.rs
+
+/root/repo/target/debug/deps/check_protocols-7060493cea78e5a1: crates/core/tests/check_protocols.rs
+
+crates/core/tests/check_protocols.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/env_replay-678890b1566a318a.d: crates/check/tests/env_replay.rs
+
+/root/repo/target/debug/deps/env_replay-678890b1566a318a: crates/check/tests/env_replay.rs
+
+crates/check/tests/env_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-74a0390266ec87c9.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-74a0390266ec87c9: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-b9a6d716f9e1271d.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-b9a6d716f9e1271d: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

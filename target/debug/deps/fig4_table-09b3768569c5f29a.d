@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_table-09b3768569c5f29a.d: crates/bench/src/bin/fig4_table.rs
+
+/root/repo/target/debug/deps/fig4_table-09b3768569c5f29a: crates/bench/src/bin/fig4_table.rs
+
+crates/bench/src/bin/fig4_table.rs:

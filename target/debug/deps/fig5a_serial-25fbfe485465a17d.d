@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a_serial-25fbfe485465a17d.d: crates/bench/src/bin/fig5a_serial.rs
+
+/root/repo/target/debug/deps/fig5a_serial-25fbfe485465a17d: crates/bench/src/bin/fig5a_serial.rs
+
+crates/bench/src/bin/fig5a_serial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b_parallel-a71c481798c01cc3.d: crates/bench/src/bin/fig5b_parallel.rs
+
+/root/repo/target/debug/deps/fig5b_parallel-a71c481798c01cc3: crates/bench/src/bin/fig5b_parallel.rs
+
+crates/bench/src/bin/fig5b_parallel.rs:

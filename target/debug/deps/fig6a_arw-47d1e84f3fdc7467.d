@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a_arw-47d1e84f3fdc7467.d: crates/bench/src/bin/fig6a_arw.rs
+
+/root/repo/target/debug/deps/fig6a_arw-47d1e84f3fdc7467: crates/bench/src/bin/fig6a_arw.rs
+
+crates/bench/src/bin/fig6a_arw.rs:

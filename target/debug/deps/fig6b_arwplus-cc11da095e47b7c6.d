@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b_arwplus-cc11da095e47b7c6.d: crates/bench/src/bin/fig6b_arwplus.rs
+
+/root/repo/target/debug/deps/fig6b_arwplus-cc11da095e47b7c6: crates/bench/src/bin/fig6b_arwplus.rs
+
+crates/bench/src/bin/fig6b_arwplus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_dekker_slowdown-2415d30166689f6a.d: crates/bench/src/bin/fig_dekker_slowdown.rs
+
+/root/repo/target/debug/deps/fig_dekker_slowdown-2415d30166689f6a: crates/bench/src/bin/fig_dekker_slowdown.rs
+
+crates/bench/src/bin/fig_dekker_slowdown.rs:

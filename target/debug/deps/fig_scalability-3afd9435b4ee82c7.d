@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_scalability-3afd9435b4ee82c7.d: crates/bench/src/bin/fig_scalability.rs
+
+/root/repo/target/debug/deps/fig_scalability-3afd9435b4ee82c7: crates/bench/src/bin/fig_scalability.rs
+
+crates/bench/src/bin/fig_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-4536cc09c3ec4c30.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-4536cc09c3ec4c30: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-88f076bf11e4dd91.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-88f076bf11e4dd91: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lbmf-b8c2ed8eb36d0377.d: crates/core/src/lib.rs crates/core/src/arw.rs crates/core/src/biased.rs crates/core/src/dekker.rs crates/core/src/fence.rs crates/core/src/hooks.rs crates/core/src/litmus.rs crates/core/src/owned.rs crates/core/src/registry.rs crates/core/src/safepoint.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/sync.rs crates/core/src/sys.rs
+
+/root/repo/target/debug/deps/lbmf-b8c2ed8eb36d0377: crates/core/src/lib.rs crates/core/src/arw.rs crates/core/src/biased.rs crates/core/src/dekker.rs crates/core/src/fence.rs crates/core/src/hooks.rs crates/core/src/litmus.rs crates/core/src/owned.rs crates/core/src/registry.rs crates/core/src/safepoint.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/sync.rs crates/core/src/sys.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arw.rs:
+crates/core/src/biased.rs:
+crates/core/src/dekker.rs:
+crates/core/src/fence.rs:
+crates/core/src/hooks.rs:
+crates/core/src/litmus.rs:
+crates/core/src/owned.rs:
+crates/core/src/registry.rs:
+crates/core/src/safepoint.rs:
+crates/core/src/stats.rs:
+crates/core/src/strategy.rs:
+crates/core/src/sync.rs:
+crates/core/src/sys.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lbmf_bench-1190ec83b1a4b760.d: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+/root/repo/target/debug/deps/liblbmf_bench-1190ec83b1a4b760.rlib: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+/root/repo/target/debug/deps/liblbmf_bench-1190ec83b1a4b760.rmeta: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/criterion.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lbmf_bench-a98649c031cc82c6.d: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+/root/repo/target/debug/deps/lbmf_bench-a98649c031cc82c6: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/criterion.rs:

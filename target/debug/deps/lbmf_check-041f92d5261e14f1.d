@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lbmf_check-041f92d5261e14f1.d: crates/check/src/lib.rs crates/check/src/engine.rs crates/check/src/sched.rs crates/check/src/shim.rs
+
+/root/repo/target/debug/deps/liblbmf_check-041f92d5261e14f1.rlib: crates/check/src/lib.rs crates/check/src/engine.rs crates/check/src/sched.rs crates/check/src/shim.rs
+
+/root/repo/target/debug/deps/liblbmf_check-041f92d5261e14f1.rmeta: crates/check/src/lib.rs crates/check/src/engine.rs crates/check/src/sched.rs crates/check/src/shim.rs
+
+crates/check/src/lib.rs:
+crates/check/src/engine.rs:
+crates/check/src/sched.rs:
+crates/check/src/shim.rs:

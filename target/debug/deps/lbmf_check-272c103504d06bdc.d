@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lbmf_check-272c103504d06bdc.d: crates/check/src/lib.rs crates/check/src/engine.rs crates/check/src/sched.rs crates/check/src/shim.rs
+
+/root/repo/target/debug/deps/lbmf_check-272c103504d06bdc: crates/check/src/lib.rs crates/check/src/engine.rs crates/check/src/sched.rs crates/check/src/shim.rs
+
+crates/check/src/lib.rs:
+crates/check/src/engine.rs:
+crates/check/src/sched.rs:
+crates/check/src/shim.rs:

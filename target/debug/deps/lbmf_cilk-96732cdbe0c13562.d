@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/lbmf_cilk-96732cdbe0c13562.d: crates/cilk/src/lib.rs crates/cilk/src/bench/mod.rs crates/cilk/src/bench/fft.rs crates/cilk/src/bench/fib.rs crates/cilk/src/bench/heat.rs crates/cilk/src/bench/knapsack.rs crates/cilk/src/bench/matrix.rs crates/cilk/src/bench/nqueens.rs crates/cilk/src/bench/sort.rs crates/cilk/src/deque.rs crates/cilk/src/job.rs crates/cilk/src/par.rs crates/cilk/src/scheduler.rs crates/cilk/src/scope.rs crates/cilk/src/stats.rs
+
+/root/repo/target/debug/deps/liblbmf_cilk-96732cdbe0c13562.rlib: crates/cilk/src/lib.rs crates/cilk/src/bench/mod.rs crates/cilk/src/bench/fft.rs crates/cilk/src/bench/fib.rs crates/cilk/src/bench/heat.rs crates/cilk/src/bench/knapsack.rs crates/cilk/src/bench/matrix.rs crates/cilk/src/bench/nqueens.rs crates/cilk/src/bench/sort.rs crates/cilk/src/deque.rs crates/cilk/src/job.rs crates/cilk/src/par.rs crates/cilk/src/scheduler.rs crates/cilk/src/scope.rs crates/cilk/src/stats.rs
+
+/root/repo/target/debug/deps/liblbmf_cilk-96732cdbe0c13562.rmeta: crates/cilk/src/lib.rs crates/cilk/src/bench/mod.rs crates/cilk/src/bench/fft.rs crates/cilk/src/bench/fib.rs crates/cilk/src/bench/heat.rs crates/cilk/src/bench/knapsack.rs crates/cilk/src/bench/matrix.rs crates/cilk/src/bench/nqueens.rs crates/cilk/src/bench/sort.rs crates/cilk/src/deque.rs crates/cilk/src/job.rs crates/cilk/src/par.rs crates/cilk/src/scheduler.rs crates/cilk/src/scope.rs crates/cilk/src/stats.rs
+
+crates/cilk/src/lib.rs:
+crates/cilk/src/bench/mod.rs:
+crates/cilk/src/bench/fft.rs:
+crates/cilk/src/bench/fib.rs:
+crates/cilk/src/bench/heat.rs:
+crates/cilk/src/bench/knapsack.rs:
+crates/cilk/src/bench/matrix.rs:
+crates/cilk/src/bench/nqueens.rs:
+crates/cilk/src/bench/sort.rs:
+crates/cilk/src/deque.rs:
+crates/cilk/src/job.rs:
+crates/cilk/src/par.rs:
+crates/cilk/src/scheduler.rs:
+crates/cilk/src/scope.rs:
+crates/cilk/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lbmf_des-307977760181ed84.d: crates/des/src/lib.rs crates/des/src/costs.rs crates/des/src/dag.rs crates/des/src/rw_sim.rs crates/des/src/steal_sim.rs
+
+/root/repo/target/debug/deps/liblbmf_des-307977760181ed84.rlib: crates/des/src/lib.rs crates/des/src/costs.rs crates/des/src/dag.rs crates/des/src/rw_sim.rs crates/des/src/steal_sim.rs
+
+/root/repo/target/debug/deps/liblbmf_des-307977760181ed84.rmeta: crates/des/src/lib.rs crates/des/src/costs.rs crates/des/src/dag.rs crates/des/src/rw_sim.rs crates/des/src/steal_sim.rs
+
+crates/des/src/lib.rs:
+crates/des/src/costs.rs:
+crates/des/src/dag.rs:
+crates/des/src/rw_sim.rs:
+crates/des/src/steal_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lbmf_des-56c942d62d15bca6.d: crates/des/src/lib.rs crates/des/src/costs.rs crates/des/src/dag.rs crates/des/src/rw_sim.rs crates/des/src/steal_sim.rs
+
+/root/repo/target/debug/deps/lbmf_des-56c942d62d15bca6: crates/des/src/lib.rs crates/des/src/costs.rs crates/des/src/dag.rs crates/des/src/rw_sim.rs crates/des/src/steal_sim.rs
+
+crates/des/src/lib.rs:
+crates/des/src/costs.rs:
+crates/des/src/dag.rs:
+crates/des/src/rw_sim.rs:
+crates/des/src/steal_sim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lbmf_des-d16a3ec0cbbc5663.d: crates/des/src/lib.rs crates/des/src/costs.rs crates/des/src/dag.rs crates/des/src/rw_sim.rs crates/des/src/steal_sim.rs
+
+/root/repo/target/debug/deps/liblbmf_des-d16a3ec0cbbc5663.rlib: crates/des/src/lib.rs crates/des/src/costs.rs crates/des/src/dag.rs crates/des/src/rw_sim.rs crates/des/src/steal_sim.rs
+
+/root/repo/target/debug/deps/liblbmf_des-d16a3ec0cbbc5663.rmeta: crates/des/src/lib.rs crates/des/src/costs.rs crates/des/src/dag.rs crates/des/src/rw_sim.rs crates/des/src/steal_sim.rs
+
+crates/des/src/lib.rs:
+crates/des/src/costs.rs:
+crates/des/src/dag.rs:
+crates/des/src/rw_sim.rs:
+crates/des/src/steal_sim.rs:

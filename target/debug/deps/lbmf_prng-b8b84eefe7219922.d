@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lbmf_prng-b8b84eefe7219922.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/liblbmf_prng-b8b84eefe7219922.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/liblbmf_prng-b8b84eefe7219922.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lbmf_prng-d00395a4510b923e.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/lbmf_prng-d00395a4510b923e: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

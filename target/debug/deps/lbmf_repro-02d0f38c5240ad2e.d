@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lbmf_repro-02d0f38c5240ad2e.d: src/lib.rs
+
+/root/repo/target/debug/deps/lbmf_repro-02d0f38c5240ad2e: src/lib.rs
+
+src/lib.rs:

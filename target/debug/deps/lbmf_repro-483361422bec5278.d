@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lbmf_repro-483361422bec5278.d: src/lib.rs
+
+/root/repo/target/debug/deps/lbmf_repro-483361422bec5278: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lbmf_repro-4eb692e5efd3faa0.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblbmf_repro-4eb692e5efd3faa0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblbmf_repro-4eb692e5efd3faa0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lbmf_repro-c5e5699cb738c657.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblbmf_repro-c5e5699cb738c657.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblbmf_repro-c5e5699cb738c657.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lbmf_sim-8dd8ca3d14033ec9.d: crates/sim/src/lib.rs crates/sim/src/addr.rs crates/sim/src/bus.rs crates/sim/src/cache.rs crates/sim/src/check.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/explore.rs crates/sim/src/isa.rs crates/sim/src/machine.rs crates/sim/src/mesi.rs crates/sim/src/programs.rs crates/sim/src/store_buffer.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/lbmf_sim-8dd8ca3d14033ec9: crates/sim/src/lib.rs crates/sim/src/addr.rs crates/sim/src/bus.rs crates/sim/src/cache.rs crates/sim/src/check.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/explore.rs crates/sim/src/isa.rs crates/sim/src/machine.rs crates/sim/src/mesi.rs crates/sim/src/programs.rs crates/sim/src/store_buffer.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/addr.rs:
+crates/sim/src/bus.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/check.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/explore.rs:
+crates/sim/src/isa.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/mesi.rs:
+crates/sim/src/programs.rs:
+crates/sim/src/store_buffer.rs:
+crates/sim/src/trace.rs:

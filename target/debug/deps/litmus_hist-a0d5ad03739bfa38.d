@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus_hist-a0d5ad03739bfa38.d: crates/core/tests/litmus_hist.rs
+
+/root/repo/target/debug/deps/litmus_hist-a0d5ad03739bfa38: crates/core/tests/litmus_hist.rs
+
+crates/core/tests/litmus_hist.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-1ea82b05d05942a3.d: crates/bench/src/bin/model_check.rs
+
+/root/repo/target/debug/deps/model_check-1ea82b05d05942a3: crates/bench/src/bin/model_check.rs
+
+crates/bench/src/bin/model_check.rs:

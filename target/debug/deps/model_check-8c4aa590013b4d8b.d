@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-8c4aa590013b4d8b.d: crates/sim/tests/model_check.rs
+
+/root/repo/target/debug/deps/model_check-8c4aa590013b4d8b: crates/sim/tests/model_check.rs
+
+crates/sim/tests/model_check.rs:

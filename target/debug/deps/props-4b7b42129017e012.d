@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-4b7b42129017e012.d: crates/sim/tests/props.rs
+
+/root/repo/target/debug/deps/props-4b7b42129017e012: crates/sim/tests/props.rs
+
+crates/sim/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-702ca267e4d30680.d: crates/cilk/tests/props.rs
+
+/root/repo/target/debug/deps/props-702ca267e4d30680: crates/cilk/tests/props.rs
+
+crates/cilk/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocols-ced24c82b4a5e3d6.d: crates/sim/tests/protocols.rs
+
+/root/repo/target/debug/deps/protocols-ced24c82b4a5e3d6: crates/sim/tests/protocols.rs
+
+crates/sim/tests/protocols.rs:

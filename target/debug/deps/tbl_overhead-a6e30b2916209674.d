@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_overhead-a6e30b2916209674.d: crates/bench/src/bin/tbl_overhead.rs
+
+/root/repo/target/debug/deps/tbl_overhead-a6e30b2916209674: crates/bench/src/bin/tbl_overhead.rs
+
+crates/bench/src/bin/tbl_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arw_lock-8a65bdc55c259963.d: examples/arw_lock.rs
+
+/root/repo/target/debug/examples/arw_lock-8a65bdc55c259963: examples/arw_lock.rs
+
+examples/arw_lock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arw_lock-8ac4f46c737c9942.d: examples/arw_lock.rs
+
+/root/repo/target/debug/examples/arw_lock-8ac4f46c737c9942: examples/arw_lock.rs
+
+examples/arw_lock.rs:

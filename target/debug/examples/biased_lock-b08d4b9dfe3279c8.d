@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/biased_lock-b08d4b9dfe3279c8.d: examples/biased_lock.rs
+
+/root/repo/target/debug/examples/biased_lock-b08d4b9dfe3279c8: examples/biased_lock.rs
+
+examples/biased_lock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/biased_lock-c23fc6b46ee6b9e9.d: examples/biased_lock.rs
+
+/root/repo/target/debug/examples/biased_lock-c23fc6b46ee6b9e9: examples/biased_lock.rs
+
+examples/biased_lock.rs:

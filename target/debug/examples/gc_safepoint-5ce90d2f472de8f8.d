@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gc_safepoint-5ce90d2f472de8f8.d: examples/gc_safepoint.rs
+
+/root/repo/target/debug/examples/gc_safepoint-5ce90d2f472de8f8: examples/gc_safepoint.rs
+
+examples/gc_safepoint.rs:

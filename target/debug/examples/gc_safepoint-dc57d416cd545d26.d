@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gc_safepoint-dc57d416cd545d26.d: examples/gc_safepoint.rs
+
+/root/repo/target/debug/examples/gc_safepoint-dc57d416cd545d26: examples/gc_safepoint.rs
+
+examples/gc_safepoint.rs:

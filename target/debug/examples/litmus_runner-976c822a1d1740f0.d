@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/litmus_runner-976c822a1d1740f0.d: examples/litmus_runner.rs
+
+/root/repo/target/debug/examples/litmus_runner-976c822a1d1740f0: examples/litmus_runner.rs
+
+examples/litmus_runner.rs:

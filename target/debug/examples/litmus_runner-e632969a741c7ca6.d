@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/litmus_runner-e632969a741c7ca6.d: examples/litmus_runner.rs
+
+/root/repo/target/debug/examples/litmus_runner-e632969a741c7ca6: examples/litmus_runner.rs
+
+examples/litmus_runner.rs:

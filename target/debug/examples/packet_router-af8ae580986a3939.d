@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/packet_router-af8ae580986a3939.d: examples/packet_router.rs
+
+/root/repo/target/debug/examples/packet_router-af8ae580986a3939: examples/packet_router.rs
+
+examples/packet_router.rs:

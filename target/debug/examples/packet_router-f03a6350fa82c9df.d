@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/packet_router-f03a6350fa82c9df.d: examples/packet_router.rs
+
+/root/repo/target/debug/examples/packet_router-f03a6350fa82c9df: examples/packet_router.rs
+
+examples/packet_router.rs:

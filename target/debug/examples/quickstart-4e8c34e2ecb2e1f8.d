@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4e8c34e2ecb2e1f8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4e8c34e2ecb2e1f8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-65f9e9b6b0629ab8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-65f9e9b6b0629ab8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sim_dekker-0dae7ae939687388.d: examples/sim_dekker.rs
+
+/root/repo/target/debug/examples/sim_dekker-0dae7ae939687388: examples/sim_dekker.rs
+
+examples/sim_dekker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sim_dekker-a9e71b659c408eac.d: examples/sim_dekker.rs
+
+/root/repo/target/debug/examples/sim_dekker-a9e71b659c408eac: examples/sim_dekker.rs
+
+examples/sim_dekker.rs:

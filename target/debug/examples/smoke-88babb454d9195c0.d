@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smoke-88babb454d9195c0.d: crates/check/examples/smoke.rs
+
+/root/repo/target/debug/examples/smoke-88babb454d9195c0: crates/check/examples/smoke.rs
+
+crates/check/examples/smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/work_stealing-6554806941a75ff4.d: examples/work_stealing.rs
+
+/root/repo/target/debug/examples/work_stealing-6554806941a75ff4: examples/work_stealing.rs
+
+examples/work_stealing.rs:

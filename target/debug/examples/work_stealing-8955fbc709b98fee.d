@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/work_stealing-8955fbc709b98fee.d: examples/work_stealing.rs
+
+/root/repo/target/debug/examples/work_stealing-8955fbc709b98fee: examples/work_stealing.rs
+
+examples/work_stealing.rs:

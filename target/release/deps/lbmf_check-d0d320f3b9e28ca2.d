@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lbmf_check-d0d320f3b9e28ca2.d: crates/check/src/lib.rs crates/check/src/engine.rs crates/check/src/sched.rs crates/check/src/shim.rs
+
+/root/repo/target/release/deps/liblbmf_check-d0d320f3b9e28ca2.rlib: crates/check/src/lib.rs crates/check/src/engine.rs crates/check/src/sched.rs crates/check/src/shim.rs
+
+/root/repo/target/release/deps/liblbmf_check-d0d320f3b9e28ca2.rmeta: crates/check/src/lib.rs crates/check/src/engine.rs crates/check/src/sched.rs crates/check/src/shim.rs
+
+crates/check/src/lib.rs:
+crates/check/src/engine.rs:
+crates/check/src/sched.rs:
+crates/check/src/shim.rs:

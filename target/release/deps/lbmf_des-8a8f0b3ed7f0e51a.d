@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lbmf_des-8a8f0b3ed7f0e51a.d: crates/des/src/lib.rs crates/des/src/costs.rs crates/des/src/dag.rs crates/des/src/rw_sim.rs crates/des/src/steal_sim.rs
+
+/root/repo/target/release/deps/liblbmf_des-8a8f0b3ed7f0e51a.rlib: crates/des/src/lib.rs crates/des/src/costs.rs crates/des/src/dag.rs crates/des/src/rw_sim.rs crates/des/src/steal_sim.rs
+
+/root/repo/target/release/deps/liblbmf_des-8a8f0b3ed7f0e51a.rmeta: crates/des/src/lib.rs crates/des/src/costs.rs crates/des/src/dag.rs crates/des/src/rw_sim.rs crates/des/src/steal_sim.rs
+
+crates/des/src/lib.rs:
+crates/des/src/costs.rs:
+crates/des/src/dag.rs:
+crates/des/src/rw_sim.rs:
+crates/des/src/steal_sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lbmf_prng-6f2006ae3da7e797.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/liblbmf_prng-6f2006ae3da7e797.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/liblbmf_prng-6f2006ae3da7e797.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

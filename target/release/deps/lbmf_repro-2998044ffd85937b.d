@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lbmf_repro-2998044ffd85937b.d: src/lib.rs
+
+/root/repo/target/release/deps/liblbmf_repro-2998044ffd85937b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblbmf_repro-2998044ffd85937b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_tmp-f9539279c26b4620.d: crates/check/examples/probe_tmp.rs
+
+/root/repo/target/release/examples/probe_tmp-f9539279c26b4620: crates/check/examples/probe_tmp.rs
+
+crates/check/examples/probe_tmp.rs:

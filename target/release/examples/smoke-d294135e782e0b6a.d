@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smoke-d294135e782e0b6a.d: crates/check/examples/smoke.rs
+
+/root/repo/target/release/examples/smoke-d294135e782e0b6a: crates/check/examples/smoke.rs
+
+crates/check/examples/smoke.rs:
