@@ -78,6 +78,14 @@ fn main() {
         t.elapsed()
     );
 
+    // Export the minimized counterexample for Perfetto (and self-check the
+    // JSON, same as the real-execution traces).
+    let json = v.chrome_trace();
+    let events = lbmf_trace::chrome::validate(&json).expect("counterexample trace well-formed");
+    let out = std::env::temp_dir().join("lbmf_smoke_violation.trace.json");
+    std::fs::write(&out, &json).expect("write counterexample trace");
+    println!("TRACE      {} chrome events -> {}", events, out.display());
+
     let total = start.elapsed();
     println!("smoke pass ok in {total:?}");
     assert!(

@@ -287,6 +287,17 @@ pub struct Violation {
     pub seed: Option<u64>,
 }
 
+impl Violation {
+    /// The minimized counterexample as Chrome trace-event JSON: one row
+    /// per virtual thread (plus `memory` and `verdict` pseudo-rows), one
+    /// microsecond of virtual time per trace step. Write it to a
+    /// `.trace.json` and it opens in Perfetto next to a real-execution
+    /// trace from `lbmf_trace::chrome::export`.
+    pub fn chrome_trace(&self) -> String {
+        lbmf_trace::chrome::from_check_trace(&self.trace)
+    }
+}
+
 /// The result of an [`Explorer::check`] run.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -401,6 +412,14 @@ mod tests {
         let v = report.expect_violation();
         assert_eq!(v.kind, ViolationKind::Assertion);
         assert!(v.trace.contains("buffered"), "trace shows buffering:\n{}", v.trace);
+
+        // The minimized counterexample exports as valid Chrome trace JSON
+        // with rows for both virtual threads and the violation marker.
+        let json = v.chrome_trace();
+        let events = lbmf_trace::chrome::validate(&json).expect("well-formed chrome trace");
+        assert!(events >= v.trace.lines().count(), "one event per step plus metadata");
+        assert!(json.contains("(buffered)"));
+        assert!(json.contains("violation"));
     }
 
     #[test]

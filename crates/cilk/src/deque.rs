@@ -19,6 +19,8 @@
 
 use crate::job::JobCore;
 use crate::stats::WorkerStats;
+#[allow(unused_imports)]
+use crate::tracing::trace_event;
 use lbmf::hooks::{load_i64, load_ptr, store_i64, store_ptr};
 use lbmf::registry::RemoteThread;
 use lbmf::strategy::FenceStrategy;
@@ -154,6 +156,7 @@ impl<S: FenceStrategy> TheDeque<S> {
             None => return Steal::Retry,
         };
         WorkerStats::bump(&stats.steal_attempts);
+        trace_event!(StealAttempt, self as *const _ as usize);
         let h = load_i64(&self.head, Ordering::Relaxed);
         store_i64(&self.head, h + 1, Ordering::Relaxed); // H++
         self.strategy.secondary_fence();
@@ -171,6 +174,7 @@ impl<S: FenceStrategy> TheDeque<S> {
         let job = load_ptr(self.slot(h), Ordering::Relaxed);
         drop(guard);
         WorkerStats::bump(&stats.steals);
+        trace_event!(StealSuccess, self as *const _ as usize);
         Steal::Success(job)
     }
 }

@@ -1,0 +1,17 @@
+//! Internal shim over `lbmf-trace`, compiled away without the `trace`
+//! feature (mirror of `lbmf`'s private `trace` module — macros cannot be
+//! shared across crates without exporting them, and these are not API).
+
+/// Record an instant event: `trace_event!(Kind, addr)`.
+macro_rules! trace_event {
+    ($kind:ident, $addr:expr) => {{
+        #[cfg(feature = "trace")]
+        ::lbmf_trace::record(::lbmf_trace::EventKind::$kind, $addr, 0);
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = &$addr;
+        }
+    }};
+}
+
+pub(crate) use trace_event;

@@ -75,6 +75,7 @@ pub mod stats;
 pub mod strategy;
 pub mod sync;
 pub mod sys;
+pub(crate) mod trace;
 
 /// The commonly used surface of the crate.
 pub mod prelude {

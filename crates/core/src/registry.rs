@@ -15,6 +15,8 @@
 //! async-signal-safe atomic operations.
 
 use crate::sys;
+#[allow(unused_imports)]
+use crate::trace::{trace_span_end, trace_span_start};
 use std::os::raw::{c_int, c_void};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Once};
@@ -70,6 +72,14 @@ impl RemoteThread {
         &self.slot
     }
 
+    /// A stable opaque key identifying the target thread across handles
+    /// (the slot's address). Trace events use it as the `guarded_addr` of
+    /// serialize requests/deliveries, and it matches the key the check
+    /// harness maps to its virtual thread.
+    pub fn key(&self) -> usize {
+        Arc::as_ptr(&self.slot) as usize
+    }
+
     /// Whether this handle refers to the *calling* thread. Protocols use
     /// it to skip self-serialization (a thread is trivially serialized
     /// with respect to itself).
@@ -96,6 +106,7 @@ impl RemoteThread {
         if crate::hooks::serialize_hook(Arc::as_ptr(&self.slot) as usize) {
             return true;
         }
+        let start = trace_span_start!();
         let before = self.slot.ack.load(Ordering::Acquire);
         let sig = serialization_signal();
         let value = sys::sigval {
@@ -111,6 +122,9 @@ impl RemoteThread {
         crate::fence::spin_until(|| {
             self.slot.ack.load(Ordering::Acquire) > before || !self.slot.is_active()
         });
+        // Recorded on the *secondary* (calling) thread — the handler must
+        // stay async-signal-safe and the primary's ring single-producer.
+        trace_span_end!(SerializeDeliver, self.key(), start);
         true
     }
 }

@@ -15,6 +15,8 @@
 
 use crate::arw::{AsymRwLock, ReaderHandle};
 use crate::strategy::FenceStrategy;
+#[allow(unused_imports)]
+use crate::trace::{trace_event, trace_span_end, trace_span_start};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -51,7 +53,12 @@ impl<S: FenceStrategy> Safepoint<S> {
     /// pinned region (serializing them remotely as needed), run `f`
     /// exclusively, then release the world.
     pub fn stop_the_world<R>(&self, f: impl FnOnce() -> R) -> R {
-        self.lock.with_write(f)
+        let key = Arc::as_ptr(&self.lock) as *const () as usize;
+        trace_event!(SafepointEnter, key);
+        let start = trace_span_start!();
+        let out = self.lock.with_write(f);
+        trace_span_end!(SafepointExit, key, start);
+        out
     }
 
     /// Number of currently registered mutators.

@@ -38,6 +38,17 @@ impl FenceStats {
     }
 
     /// Snapshot all counters.
+    ///
+    /// **Not atomic across fields**: each counter is read individually
+    /// with `Relaxed` loads, so a snapshot taken while other threads are
+    /// bumping counters can mix values from different instants (e.g. a
+    /// `serializations_requested` that is already incremented paired with
+    /// a `serializations_delivered` that is not yet). Each field is
+    /// individually exact and monotone; for cross-field consistency,
+    /// snapshot at a quiescent point (threads joined / locks released).
+    /// Differencing two snapshots of one phase with
+    /// [`FenceStatsSnapshot::diff`] is the supported way to isolate that
+    /// phase's activity.
     pub fn snapshot(&self) -> FenceStatsSnapshot {
         FenceStatsSnapshot {
             primary_full_fences: self.primary_full_fences.load(Ordering::Relaxed),
@@ -49,6 +60,13 @@ impl FenceStats {
     }
 
     /// Reset all counters to zero (between experiment phases).
+    ///
+    /// Like [`snapshot`](Self::snapshot), this is **not atomic across
+    /// fields**: a concurrent bump can land between the per-field zeroing
+    /// stores, leaving a mixed state. Prefer resetting only while the
+    /// strategy is otherwise idle — or skip resetting entirely and
+    /// subtract a phase-start snapshot via
+    /// [`FenceStatsSnapshot::diff`], which never perturbs the counters.
     pub fn reset(&self) {
         self.primary_full_fences.store(0, Ordering::Relaxed);
         self.primary_compiler_fences.store(0, Ordering::Relaxed);
@@ -78,6 +96,32 @@ impl FenceStatsSnapshot {
     /// (every compiler-only fence would have been a full fence).
     pub fn fences_avoided(&self) -> u64 {
         self.primary_compiler_fences
+    }
+
+    /// Per-field difference `self - earlier`: the activity between two
+    /// snapshots of the same [`FenceStats`]. Counters are monotone, so on
+    /// snapshots taken in order from one instance this is exact per field
+    /// (saturating, for robustness against an interleaved
+    /// [`FenceStats::reset`]). This replaces hand-subtracting fields when
+    /// isolating an experiment phase.
+    pub fn diff(&self, earlier: &FenceStatsSnapshot) -> FenceStatsSnapshot {
+        FenceStatsSnapshot {
+            primary_full_fences: self
+                .primary_full_fences
+                .saturating_sub(earlier.primary_full_fences),
+            primary_compiler_fences: self
+                .primary_compiler_fences
+                .saturating_sub(earlier.primary_compiler_fences),
+            secondary_full_fences: self
+                .secondary_full_fences
+                .saturating_sub(earlier.secondary_full_fences),
+            serializations_requested: self
+                .serializations_requested
+                .saturating_sub(earlier.serializations_requested),
+            serializations_delivered: self
+                .serializations_delivered
+                .saturating_sub(earlier.serializations_delivered),
+        }
     }
 }
 
@@ -111,6 +155,29 @@ mod tests {
         assert_eq!(snap.fences_avoided(), 2);
         s.reset();
         assert_eq!(s.snapshot(), FenceStatsSnapshot::default());
+    }
+
+    #[test]
+    fn diff_isolates_a_phase() {
+        let s = FenceStats::new();
+        FenceStats::bump(&s.primary_compiler_fences);
+        FenceStats::bump(&s.serializations_requested);
+        let start = s.snapshot();
+        FenceStats::bump(&s.primary_compiler_fences);
+        FenceStats::bump(&s.primary_compiler_fences);
+        FenceStats::bump(&s.serializations_requested);
+        FenceStats::bump(&s.serializations_delivered);
+        let phase = s.snapshot().diff(&start);
+        assert_eq!(phase.primary_compiler_fences, 2);
+        assert_eq!(phase.serializations_requested, 1);
+        assert_eq!(phase.serializations_delivered, 1);
+        assert_eq!(phase.primary_full_fences, 0);
+        // Saturates rather than wrapping if a reset slipped in between.
+        let stale = FenceStatsSnapshot {
+            primary_compiler_fences: 1_000,
+            ..Default::default()
+        };
+        assert_eq!(s.snapshot().diff(&stale).primary_compiler_fences, 0);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 use crate::fence::{compiler_fence_only, full_fence};
 use crate::registry::RemoteThread;
 use crate::stats::FenceStats;
+#[allow(unused_imports)]
+use crate::trace::{trace_event, trace_span_end, trace_span_start};
 
 /// Ordering actions for one side of an asymmetric synchronization pattern.
 ///
@@ -37,6 +39,7 @@ pub trait FenceStrategy: Send + Sync + 'static {
     fn secondary_fence(&self) {
         full_fence();
         FenceStats::bump(&self.stats().secondary_full_fences);
+        trace_event!(SecondaryFence);
     }
 
     /// Force `target` to serialize its instruction stream.
@@ -74,10 +77,12 @@ impl FenceStrategy for Symmetric {
     fn primary_fence(&self) {
         full_fence();
         FenceStats::bump(&self.stats.primary_full_fences);
+        trace_event!(PrimaryFullFence);
     }
 
-    fn serialize_remote(&self, _target: &RemoteThread) {
+    fn serialize_remote(&self, target: &RemoteThread) {
         FenceStats::bump(&self.stats.serializations_requested);
+        trace_event!(SerializeRequest, target.key());
         // Nothing to do: the primary executed a real fence itself.
     }
 
@@ -118,10 +123,12 @@ impl FenceStrategy for SignalFence {
     fn primary_fence(&self) {
         compiler_fence_only();
         FenceStats::bump(&self.stats.primary_compiler_fences);
+        trace_event!(PrimaryFence);
     }
 
     fn serialize_remote(&self, target: &RemoteThread) {
         FenceStats::bump(&self.stats.serializations_requested);
+        trace_event!(SerializeRequest, target.key());
         if target.serialize() {
             FenceStats::bump(&self.stats.serializations_delivered);
         }
@@ -183,13 +190,17 @@ impl FenceStrategy for MembarrierFence {
     fn primary_fence(&self) {
         compiler_fence_only();
         FenceStats::bump(&self.stats.primary_compiler_fences);
+        trace_event!(PrimaryFence);
     }
 
-    fn serialize_remote(&self, _target: &RemoteThread) {
+    fn serialize_remote(&self, target: &RemoteThread) {
         FenceStats::bump(&self.stats.serializations_requested);
+        trace_event!(SerializeRequest, target.key());
+        let start = trace_span_start!();
         let rc = membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED);
         debug_assert_eq!(rc, 0, "membarrier failed after successful registration");
         FenceStats::bump(&self.stats.serializations_delivered);
+        trace_span_end!(SerializeDeliver, target.key(), start);
     }
 
     fn name(&self) -> &'static str {
@@ -229,10 +240,12 @@ impl FenceStrategy for NoFence {
     fn primary_fence(&self) {
         compiler_fence_only();
         FenceStats::bump(&self.stats.primary_compiler_fences);
+        trace_event!(PrimaryFence);
     }
 
-    fn serialize_remote(&self, _target: &RemoteThread) {
+    fn serialize_remote(&self, target: &RemoteThread) {
         FenceStats::bump(&self.stats.serializations_requested);
+        trace_event!(SerializeRequest, target.key());
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,58 @@
+//! Internal shims over `lbmf-trace`, compiled away without the `trace`
+//! feature.
+//!
+//! Emission sites call these macros; with `--no-default-features` every
+//! invocation expands to a no-op that merely consumes its arguments, so
+//! the disabled build carries zero tracing code (the compile-time half of
+//! the "zero-cost when disabled" claim — the runtime half, that the
+//! *enabled* record path adds no fence/RMW, is asserted by
+//! `tests/trace_fastpath.rs` at the workspace root).
+
+/// Record an instant event: `trace_event!(Kind)`,
+/// `trace_event!(Kind, addr)` or `trace_event!(Kind, addr, dur)`.
+macro_rules! trace_event {
+    ($kind:ident) => {
+        trace_event!($kind, 0usize, 0u64)
+    };
+    ($kind:ident, $addr:expr) => {
+        trace_event!($kind, $addr, 0u64)
+    };
+    ($kind:ident, $addr:expr, $dur:expr) => {{
+        #[cfg(feature = "trace")]
+        ::lbmf_trace::record(::lbmf_trace::EventKind::$kind, $addr, $dur);
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (&$addr, &$dur);
+        }
+    }};
+}
+
+/// Start a span: evaluates to the start timestamp (0 when tracing is
+/// compiled out). Pass the result to `trace_span_end!`.
+macro_rules! trace_span_start {
+    () => {{
+        #[cfg(feature = "trace")]
+        {
+            ::lbmf_trace::now_nanos()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0u64
+        }
+    }};
+}
+
+/// End a span begun with `trace_span_start!`: records `Kind` at the start
+/// time with `dur` = elapsed.
+macro_rules! trace_span_end {
+    ($kind:ident, $addr:expr, $start:expr) => {{
+        #[cfg(feature = "trace")]
+        ::lbmf_trace::record_span(::lbmf_trace::EventKind::$kind, $addr, $start);
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (&$addr, &$start);
+        }
+    }};
+}
+
+pub(crate) use {trace_event, trace_span_end, trace_span_start};

@@ -13,6 +13,7 @@
 
 use crate::costs::{DesCosts, SerializeKind, SimRng};
 use crate::dag::{Step, Task};
+use lbmf_trace::{EventKind, FenceEvent, ThreadTrace, TraceSnapshot};
 use std::collections::VecDeque;
 
 /// Scheduling-action cycle costs (strategy-independent parts).
@@ -133,8 +134,73 @@ struct Worker {
     deque: VecDeque<usize>,
 }
 
+/// Per-worker event collection during a traced run. Simulated events use
+/// the real runtime's schema with virtual cycles in the `nanos` field, so
+/// a simulated trace opens in Perfetto next to a real-execution one.
+struct SimTrace {
+    on: bool,
+    events: Vec<Vec<FenceEvent>>,
+}
+
+impl SimTrace {
+    fn off() -> Self {
+        SimTrace {
+            on: false,
+            events: Vec::new(),
+        }
+    }
+
+    fn on(workers: usize) -> Self {
+        SimTrace {
+            on: true,
+            events: vec![Vec::new(); workers],
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, w: usize, clock: u64, kind: EventKind, addr: usize, dur: u64) {
+        if self.on {
+            self.events[w].push(FenceEvent {
+                nanos: clock,
+                thread: w as u32,
+                kind,
+                guarded_addr: addr,
+                dur,
+            });
+        }
+    }
+
+    fn into_snapshot(self) -> TraceSnapshot {
+        TraceSnapshot {
+            threads: self
+                .events
+                .into_iter()
+                .enumerate()
+                .map(|(w, events)| ThreadTrace {
+                    tid: w as u32,
+                    name: format!("sim-worker-{w}"),
+                    events,
+                    dropped: 0,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Run the simulation to completion.
 pub fn simulate(root: Task, cfg: &StealSimConfig) -> StealSimResult {
+    run(root, cfg, &mut SimTrace::off())
+}
+
+/// Run the simulation and also collect its event trace (same schedule and
+/// result as [`simulate`] — tracing never perturbs the simulation).
+pub fn simulate_traced(root: Task, cfg: &StealSimConfig) -> (StealSimResult, TraceSnapshot) {
+    let mut trace = SimTrace::on(cfg.workers);
+    let res = run(root, cfg, &mut trace);
+    (res, trace.into_snapshot())
+}
+
+fn run(root: Task, cfg: &StealSimConfig, trace: &mut SimTrace) -> StealSimResult {
     assert!(cfg.workers >= 1);
     let mut workers: Vec<Worker> = (0..cfg.workers)
         .map(|_| Worker {
@@ -179,7 +245,7 @@ pub fn simulate(root: Task, cfg: &StealSimConfig) -> StealSimResult {
         let w = (0..cfg.workers)
             .min_by_key(|&i| workers[i].clock)
             .unwrap();
-        advance(w, &mut workers, &mut spawns, &mut rng, cfg, &mut res);
+        advance(w, &mut workers, &mut spawns, &mut rng, cfg, &mut res, trace);
     }
     res.makespan = workers.iter().map(|w| w.clock).max().unwrap_or(0);
     res
@@ -192,6 +258,7 @@ fn advance(
     rng: &mut SimRng,
     cfg: &StealSimConfig,
     res: &mut StealSimResult,
+    trace: &mut SimTrace,
 ) {
     enum Decision {
         Idle,
@@ -218,7 +285,7 @@ fn advance(
     };
     match decision {
         Decision::Idle => {
-            try_steal(w, workers, spawns, rng, cfg, res);
+            try_steal(w, workers, spawns, rng, cfg, res, trace);
         }
         Decision::FrameDone => {
             workers[w].conts.pop();
@@ -254,9 +321,15 @@ fn advance(
             workers[w].conts.pop();
             res.pops += 1;
             let mut cost = cfg.sched.pop + cfg.costs.victim_fence(cfg.kind);
-            if cfg.kind.victim_pays_fence() {
+            // The l-mfence position: what the victim's pop pays here is
+            // the event the whole asymmetry is about.
+            let fence_kind = if cfg.kind.victim_pays_fence() {
                 res.victim_fences += 1;
-            }
+                EventKind::PrimaryFullFence
+            } else {
+                EventKind::PrimaryFence
+            };
+            trace.emit(w, workers[w].clock, fence_kind, id, 0);
             match workers[w].deque.back().copied() {
                 Some(top) if top == id => {
                     // Fast path: our spawn is still ours — run it inline.
@@ -287,7 +360,7 @@ fn advance(
                 workers[w].conts.pop();
                 workers[w].clock += 1;
             } else {
-                try_steal(w, workers, spawns, rng, cfg, res);
+                try_steal(w, workers, spawns, rng, cfg, res, trace);
             }
         }
         Decision::Complete(id) => {
@@ -305,6 +378,7 @@ fn try_steal(
     rng: &mut SimRng,
     cfg: &StealSimConfig,
     res: &mut StealSimResult,
+    trace: &mut SimTrace,
 ) {
     if cfg.workers == 1 {
         // Nobody to steal from; just idle briefly.
@@ -327,9 +401,13 @@ fn try_steal(
     }
     // Engage the full protocol: lock, H++, own fence, remote serialization
     // of the victim, read T.
+    trace.emit(w, workers[w].clock, EventKind::StealAttempt, v, 0);
+    trace.emit(w, workers[w].clock, EventKind::SecondaryFence, v, 0);
     let (req_cost, victim_cost) = cfg.costs.serialize(cfg.kind);
     if req_cost > 0 || victim_cost > 0 {
         res.serializations += 1;
+        trace.emit(w, workers[w].clock, EventKind::SerializeRequest, v, 0);
+        trace.emit(w, workers[w].clock, EventKind::SerializeDeliver, v, req_cost);
     }
     let mut cost = cfg.sched.probe + cfg.costs.lock + cfg.costs.mfence + req_cost;
     // The victim is interrupted (signal handler / IPI / SB flush).
@@ -349,6 +427,7 @@ fn try_steal(
         debug_assert_eq!(spawns[id].state, SpawnState::Queued);
         spawns[id].state = SpawnState::Stolen;
         res.steals += 1;
+        trace.emit(w, workers[w].clock, EventKind::StealSuccess, v, 0);
         workers[w].conts.push(Cont::Complete { spawn: id });
         workers[w].conts.push(Cont::Steps {
             steps: spawns[id].task.expand(),
@@ -437,6 +516,31 @@ mod tests {
         let c = r.conversion();
         assert!((0.0..=1.0).contains(&c));
         assert!(r.steal_attempts >= r.steals);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_counts_agree() {
+        let cfg = StealSimConfig::new(4, SerializeKind::Signal);
+        let root = Task::Fib { n: 18 };
+        let plain = simulate(root, &cfg);
+        let (traced, snap) = simulate_traced(root, &cfg);
+        assert_eq!(plain.makespan, traced.makespan, "tracing must not perturb");
+        assert_eq!(plain.steals, traced.steals);
+        // The event stream is the result's counters, itemized.
+        assert_eq!(snap.count(EventKind::StealSuccess), traced.steals);
+        assert_eq!(snap.count(EventKind::SerializeRequest), traced.serializations);
+        assert_eq!(snap.count(EventKind::PrimaryFence), traced.pops);
+        assert_eq!(snap.count(EventKind::PrimaryFullFence), 0, "asymmetric run");
+        assert_eq!(snap.threads.len(), 4);
+        assert!(snap.threads.iter().all(|t| t.dropped == 0));
+        assert_eq!(snap.threads[2].name, "sim-worker-2");
+        // Virtual timestamps are per-worker monotone, and a simulated
+        // snapshot exports through the same Chrome path as a real one.
+        for t in &snap.threads {
+            assert!(t.events.windows(2).all(|p| p[0].nanos <= p[1].nanos));
+        }
+        let json = lbmf_trace::chrome::export(&snap);
+        lbmf_trace::chrome::validate_with_serialize_pair(&json).expect("valid chrome trace");
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! Emits the classic "JSON object format": `{"traceEvents": [...]}` with
+//! per-thread metadata (`ph:"M"` `thread_name`), instant events
+//! (`ph:"i"`, thread-scoped), complete spans (`ph:"X"` with `dur`), and a
+//! per-thread `dropped` counter (`ph:"C"`). Timestamps are microseconds
+//! (floats), converted from the snapshot's nanosecond stamps.
+//!
+//! Also hosts [`validate`], a dependency-free structural self-check used
+//! by CI and the examples, and [`from_check_trace`], which turns an
+//! `lbmf-check` counterexample trace into the same format so a
+//! model-checker violation opens in Perfetto next to a real-run trace.
+
+use crate::{EventKind, TraceSnapshot};
+use std::fmt::Write as _;
+
+/// All process ids in one trace (Perfetto groups rows by pid/tid).
+const PID: u32 = 1;
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+struct EventWriter {
+    out: String,
+    first: bool,
+}
+
+impl EventWriter {
+    fn new() -> Self {
+        EventWriter {
+            out: String::from("{\"traceEvents\":[\n"),
+            first: true,
+        }
+    }
+
+    /// Open one event object with the common fields; caller appends extra
+    /// `,"k":v` pairs to the returned buffer and must call `close_event`.
+    fn open(&mut self, name: &str, ph: char, tid: u32, ts_us: f64) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push_str("{\"name\":\"");
+        escape_into(&mut self.out, name);
+        let _ = write!(
+            self.out,
+            "\",\"ph\":\"{ph}\",\"pid\":{PID},\"tid\":{tid},\"ts\":{ts_us:.3}"
+        );
+    }
+
+    fn close(&mut self) {
+        self.out.push('}');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+/// Render a snapshot as Chrome trace-event JSON. The output always
+/// passes [`validate`].
+pub fn export(snap: &TraceSnapshot) -> String {
+    let mut w = EventWriter::new();
+    for t in &snap.threads {
+        // Row label.
+        w.open("thread_name", 'M', t.tid, 0.0);
+        w.out.push_str(",\"args\":{\"name\":\"");
+        escape_into(&mut w.out, &t.name);
+        w.out.push_str("\"}");
+        w.close();
+        for e in &t.events {
+            let ts = e.nanos as f64 / 1000.0;
+            if e.dur > 0 {
+                w.open(e.kind.name(), 'X', t.tid, ts);
+                let _ = write!(w.out, ",\"dur\":{:.3}", e.dur as f64 / 1000.0);
+            } else {
+                w.open(e.kind.name(), 'i', t.tid, ts);
+                w.out.push_str(",\"s\":\"t\"");
+            }
+            if e.guarded_addr != 0 {
+                let _ = write!(w.out, ",\"args\":{{\"addr\":\"{:#x}\"}}", e.guarded_addr);
+            }
+            w.close();
+        }
+        // Lossy-by-design: the wrap count is part of the export.
+        let end = t.events.last().map_or(0.0, |e| e.nanos as f64 / 1000.0);
+        w.open("dropped", 'C', t.tid, end);
+        let _ = write!(w.out, ",\"args\":{{\"dropped\":{}}}", t.dropped);
+        w.close();
+    }
+    w.finish()
+}
+
+/// Convert an `lbmf-check` counterexample trace (the `Violation::trace`
+/// string: numbered lines like `"   3. T0: store L0 <- 1 (buffered)"`)
+/// into Chrome trace-event JSON. Virtual time is the trace step index,
+/// one microsecond per step; `memory:` commit/drain lines and the `!!`
+/// violation marker get pseudo-thread rows of their own.
+pub fn from_check_trace(trace: &str) -> String {
+    const MEMORY_TID: u32 = 1000;
+    const VERDICT_TID: u32 = 1001;
+    let mut w = EventWriter::new();
+    let mut named: Vec<u32> = Vec::new();
+    let mut name_row = |w: &mut EventWriter, tid: u32, name: &str| {
+        if !named.contains(&tid) {
+            named.push(tid);
+            w.open("thread_name", 'M', tid, 0.0);
+            w.out.push_str(",\"args\":{\"name\":\"");
+            escape_into(&mut w.out, name);
+            w.out.push_str("\"}");
+            w.close();
+        }
+    };
+    for (step, line) in trace.lines().enumerate() {
+        let line = line.trim_start();
+        // Strip the "   3. " numbering the report prepends.
+        let line = match line.split_once(". ") {
+            Some((n, rest)) if n.chars().all(|c| c.is_ascii_digit()) => rest,
+            _ => line,
+        };
+        let ts = step as f64;
+        if let Some(rest) = line.strip_prefix("!! ") {
+            name_row(&mut w, VERDICT_TID, "verdict");
+            w.open(rest, 'i', VERDICT_TID, ts);
+            w.out.push_str(",\"s\":\"g\""); // global-scope marker
+            w.close();
+        } else if let Some(rest) = line.strip_prefix("memory: ") {
+            name_row(&mut w, MEMORY_TID, "memory (store buffers)");
+            w.open(rest, 'i', MEMORY_TID, ts);
+            w.out.push_str(",\"s\":\"t\"");
+            w.close();
+        } else if let Some((t, rest)) = line.split_once(": ") {
+            let Some(tid) = t
+                .strip_prefix('T')
+                .and_then(|n| n.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            name_row(&mut w, tid, t);
+            w.open(rest, 'i', tid, ts);
+            w.out.push_str(",\"s\":\"t\"");
+            w.close();
+        }
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------
+// Self-check: a dependency-free structural validator.
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+    events: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&c) = self.s.get(self.i) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.s.get(self.i) else {
+                        return Err(self.err("dangling escape"));
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' | b'\\' | b'/' => out.push(e as char),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' | b'f' => out.push(' '),
+                        b'u' => {
+                            if self.i + 4 > self.s.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            self.i += 4;
+                            out.push(' ');
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.s.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            Err(self.err("expected number"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Parse any value; `as_event` checks the required trace-event keys.
+    fn value(&mut self, as_event: bool) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(as_event),
+            Some(b'[') => self.array(false),
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn object(&mut self, as_event: bool) -> Result<(), String> {
+        self.eat(b'{')?;
+        let mut keys: Vec<String> = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+        } else {
+            loop {
+                let k = self.string()?;
+                self.eat(b':')?;
+                self.value(false)?;
+                keys.push(k);
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or '}'")),
+                }
+            }
+        }
+        if as_event {
+            for required in ["name", "ph", "ts", "pid", "tid"] {
+                if !keys.iter().any(|k| k == required) {
+                    return Err(self.err(&format!("event missing \"{required}\"")));
+                }
+            }
+            self.events += 1;
+        }
+        Ok(())
+    }
+
+    fn array(&mut self, of_events: bool) -> Result<(), String> {
+        self.eat(b'[')?;
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.value(of_events)?;
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+/// Structurally validate Chrome trace-event JSON: well-formed JSON, a
+/// top-level `traceEvents` array (or a bare array), and every event
+/// carrying `name`/`ph`/`ts`/`pid`/`tid`. Returns the event count.
+pub fn validate(json: &str) -> Result<usize, String> {
+    let mut p = Parser {
+        s: json.as_bytes(),
+        i: 0,
+        events: 0,
+    };
+    match p.peek() {
+        Some(b'[') => p.array(true)?,
+        Some(b'{') => {
+            p.eat(b'{')?;
+            let mut saw_trace_events = false;
+            loop {
+                let k = p.string()?;
+                p.eat(b':')?;
+                if k == "traceEvents" {
+                    saw_trace_events = true;
+                    p.array(true)?;
+                } else {
+                    p.value(false)?;
+                }
+                match p.peek() {
+                    Some(b',') => p.i += 1,
+                    Some(b'}') => {
+                        p.i += 1;
+                        break;
+                    }
+                    _ => return Err(p.err("expected ',' or '}'")),
+                }
+            }
+            if !saw_trace_events {
+                return Err("no \"traceEvents\" array".into());
+            }
+        }
+        _ => return Err("expected '{' or '['".into()),
+    }
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(p.events)
+}
+
+/// `validate`, then additionally require at least one
+/// `serialize-request` and one `serialize-deliver` event (the pairing
+/// the Dekker example must demonstrate).
+pub fn validate_with_serialize_pair(json: &str) -> Result<usize, String> {
+    let n = validate(json)?;
+    for needle in [EventKind::SerializeRequest.name(), EventKind::SerializeDeliver.name()] {
+        if !json.contains(&format!("\"name\":\"{needle}\"")) {
+            return Err(format!("no \"{needle}\" event in trace"));
+        }
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FenceEvent, ThreadTrace};
+
+    fn sample() -> TraceSnapshot {
+        TraceSnapshot {
+            threads: vec![ThreadTrace {
+                tid: 0,
+                name: "primary \"p0\"".into(),
+                events: vec![
+                    FenceEvent {
+                        nanos: 1500,
+                        thread: 0,
+                        kind: EventKind::PrimaryFence,
+                        guarded_addr: 0xbeef,
+                        dur: 0,
+                    },
+                    FenceEvent {
+                        nanos: 2500,
+                        thread: 0,
+                        kind: EventKind::SerializeDeliver,
+                        guarded_addr: 0,
+                        dur: 4000,
+                    },
+                ],
+                dropped: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn export_self_validates() {
+        let json = export(&sample());
+        let n = validate(&json).expect("valid");
+        // metadata + 2 events + dropped counter
+        assert_eq!(n, 4);
+        assert!(json.contains("\"ph\":\"X\""), "span event present");
+        assert!(json.contains("\"ph\":\"i\""), "instant event present");
+        assert!(json.contains("\"dropped\":2"));
+        assert!(json.contains("primary \\\"p0\\\""), "name escaped");
+        assert!(json.contains("\"ts\":1.500"), "ns -> us conversion");
+    }
+
+    #[test]
+    fn empty_snapshot_validates() {
+        let json = export(&TraceSnapshot::default());
+        assert_eq!(validate(&json), Ok(0));
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        assert!(validate("{\"traceEvents\":[").is_err());
+        assert!(validate("{}").is_err(), "missing traceEvents");
+        assert!(
+            validate("{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"i\"}]}").is_err(),
+            "event missing ts/pid/tid"
+        );
+        assert!(validate("{\"traceEvents\":[]}extra").is_err());
+        assert!(validate("").is_err());
+    }
+
+    #[test]
+    fn serialize_pair_check() {
+        let json = export(&sample());
+        assert!(validate_with_serialize_pair(&json)
+            .unwrap_err()
+            .contains("serialize-request"));
+    }
+
+    #[test]
+    fn check_trace_converts() {
+        let trace = "   1. T0: start\n   2. T0: store L0 <- 1 (buffered)\n\
+                     3. memory: commit T0 L0 = 1\n   4. T1: serialize T0 (drained 1)\n\
+                     5. !! violation (MutualExclusion): both inside\n   6. T0: finish";
+        let json = from_check_trace(trace);
+        let n = validate(&json).expect("valid");
+        assert!(n >= 6, "events for every line plus metadata, got {n}");
+        assert!(json.contains("store L0 <- 1 (buffered)"));
+        assert!(json.contains("memory (store buffers)"));
+        assert!(json.contains("violation (MutualExclusion)"));
+        assert!(json.contains("\"tid\":1000"));
+        assert!(json.contains("\"tid\":1001"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Log2-bucketed latency histograms.
+//!
+//! Serialize round trips span four orders of magnitude (a membarrier on
+//! an idle core vs. a signal delivered to a descheduled thread), so
+//! fixed-width buckets waste resolution. Bucket `i` holds values `v`
+//! with `floor(log2(v)) == i` (bucket 0 additionally holds `v == 0`);
+//! 65 buckets cover the full `u64` range.
+
+use std::fmt;
+
+/// A log2-bucketed histogram over `u64` values.
+#[derive(Clone, Debug)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (63 - v.leading_zeros()) as usize + 1
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`0` for bucket 0, else `2^i - 1`).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 if empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`q` in 0..=100), so accurate to within 2×. 0 if empty.
+    pub fn percentile(&self, q: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * q as u64).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterate non-empty buckets as `(inclusive_upper_bound, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+}
+
+impl fmt::Display for Log2Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "(empty)");
+        }
+        writeln!(
+            f,
+            "n={} mean={} p50<={} p90<={} p99<={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(50),
+            self.percentile(90),
+            self.percentile(99),
+            self.max
+        )?;
+        let widest = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (upper, c) in self.nonzero_buckets() {
+            let bar = (c * 40).div_ceil(widest) as usize;
+            writeln!(f, "  <={:>12} {:>8} {}", upper, c, "#".repeat(bar))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn stats_and_percentiles() {
+        let mut h = Log2Histogram::new();
+        for v in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1110);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 185);
+        // p50 rank=3 -> value 3 lives in bucket upper 3.
+        assert_eq!(h.percentile(50), 3);
+        // p100 capped at observed max, not bucket upper (1023).
+        assert_eq!(h.percentile(100), 1000);
+        assert_eq!(h.percentile(99), 1000);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Log2Histogram::new();
+        a.record(5);
+        let mut b = Log2Histogram::new();
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), 505);
+        assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.percentile(99), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(format!("{h}"), "(empty)");
+    }
+}

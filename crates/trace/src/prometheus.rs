@@ -1,0 +1,113 @@
+//! Prometheus-style text export.
+//!
+//! A flat, scrape-format dump of a [`TraceSnapshot`]: per-thread/per-kind
+//! event totals, per-thread dropped totals, and a cumulative log2
+//! histogram of serialize round-trip latency. This is a point-in-time
+//! render of one snapshot, not a live endpoint — pipe it to a file and
+//! let the scraper read that.
+
+use crate::{EventKind, Log2Histogram, TraceSnapshot};
+use std::fmt::Write as _;
+
+fn label_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render a snapshot in Prometheus exposition format.
+pub fn export(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP lbmf_trace_events_total Events recorded, by thread and kind.\n");
+    out.push_str("# TYPE lbmf_trace_events_total counter\n");
+    for t in &snap.threads {
+        let name = label_escape(&t.name);
+        for kind in EventKind::ALL {
+            let n = t.events.iter().filter(|e| e.kind == kind).count();
+            if n > 0 {
+                let _ = writeln!(
+                    out,
+                    "lbmf_trace_events_total{{thread=\"{name}\",kind=\"{}\"}} {n}",
+                    kind.name()
+                );
+            }
+        }
+    }
+    out.push_str("# HELP lbmf_trace_dropped_total Events lost to ring wrap-around, by thread.\n");
+    out.push_str("# TYPE lbmf_trace_dropped_total counter\n");
+    for t in &snap.threads {
+        let _ = writeln!(
+            out,
+            "lbmf_trace_dropped_total{{thread=\"{}\"}} {}",
+            label_escape(&t.name),
+            t.dropped
+        );
+    }
+    let mut h = Log2Histogram::new();
+    for t in &snap.threads {
+        for e in &t.events {
+            if e.kind == EventKind::SerializeDeliver {
+                h.record(e.dur);
+            }
+        }
+    }
+    out.push_str(
+        "# HELP lbmf_trace_serialize_latency Serialize round-trip wait (ns real / cycles simulated), log2 buckets.\n",
+    );
+    out.push_str("# TYPE lbmf_trace_serialize_latency histogram\n");
+    let mut cumulative = 0;
+    for (upper, count) in h.nonzero_buckets() {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "lbmf_trace_serialize_latency_bucket{{le=\"{upper}\"}} {cumulative}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "lbmf_trace_serialize_latency_bucket{{le=\"+Inf\"}} {}",
+        h.count()
+    );
+    let _ = writeln!(out, "lbmf_trace_serialize_latency_sum {}", h.sum());
+    let _ = writeln!(out, "lbmf_trace_serialize_latency_count {}", h.count());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FenceEvent, ThreadTrace};
+
+    #[test]
+    fn export_has_counters_and_histogram() {
+        let snap = TraceSnapshot {
+            threads: vec![ThreadTrace {
+                tid: 0,
+                name: "w0".into(),
+                events: vec![
+                    FenceEvent {
+                        nanos: 1,
+                        thread: 0,
+                        kind: EventKind::PrimaryFence,
+                        guarded_addr: 0,
+                        dur: 0,
+                    },
+                    FenceEvent {
+                        nanos: 2,
+                        thread: 0,
+                        kind: EventKind::SerializeDeliver,
+                        guarded_addr: 0,
+                        dur: 700,
+                    },
+                ],
+                dropped: 3,
+            }],
+        };
+        let text = export(&snap);
+        assert!(text
+            .contains("lbmf_trace_events_total{thread=\"w0\",kind=\"primary-fence\"} 1"));
+        assert!(text.contains("lbmf_trace_dropped_total{thread=\"w0\"} 3"));
+        // 700 lands in the log2 bucket with inclusive upper bound 1023.
+        assert!(text.contains("lbmf_trace_serialize_latency_bucket{le=\"1023\"} 1"));
+        assert!(text.contains("lbmf_trace_serialize_latency_sum 700"));
+        assert!(text.contains("lbmf_trace_serialize_latency_count 1"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-run plain-text summary table.
+//!
+//! The "what just happened" view for terminals and logs: event totals
+//! per kind, per-thread stream sizes with wrap losses, and percentiles of
+//! the serialize round-trip latency.
+
+use crate::{EventKind, Log2Histogram, TraceSnapshot};
+use std::fmt::Write as _;
+
+/// Render a human-readable summary of one snapshot.
+pub fn render(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace summary: {} events on {} threads ({} dropped to ring wrap)",
+        snap.total_events(),
+        snap.threads.len(),
+        snap.total_dropped()
+    );
+    out.push_str("  events by kind:\n");
+    for kind in EventKind::ALL {
+        let n = snap.count(kind);
+        if n > 0 {
+            let _ = writeln!(out, "    {:<20} {:>8}", kind.name(), n);
+        }
+    }
+    out.push_str("  threads:\n");
+    for t in &snap.threads {
+        let _ = writeln!(
+            out,
+            "    [{:>3}] {:<24} {:>8} events, {:>6} dropped",
+            t.tid,
+            t.name,
+            t.events.len(),
+            t.dropped
+        );
+    }
+    let mut h = Log2Histogram::new();
+    for t in &snap.threads {
+        for e in &t.events {
+            if e.kind == EventKind::SerializeDeliver {
+                h.record(e.dur);
+            }
+        }
+    }
+    if h.count() > 0 {
+        let _ = writeln!(
+            out,
+            "  serialize round-trip wait: n={} mean={} p50<={} p90<={} p99<={} max={}",
+            h.count(),
+            h.mean(),
+            h.percentile(50),
+            h.percentile(90),
+            h.percentile(99),
+            h.max()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FenceEvent, ThreadTrace};
+
+    #[test]
+    fn render_covers_kinds_threads_and_latency() {
+        let snap = TraceSnapshot {
+            threads: vec![ThreadTrace {
+                tid: 5,
+                name: "secondary".into(),
+                events: vec![FenceEvent {
+                    nanos: 9,
+                    thread: 5,
+                    kind: EventKind::SerializeDeliver,
+                    guarded_addr: 0,
+                    dur: 1234,
+                }],
+                dropped: 1,
+            }],
+        };
+        let text = render(&snap);
+        assert!(text.contains("1 events on 1 threads (1 dropped"));
+        assert!(text.contains("serialize-deliver"));
+        assert!(text.contains("secondary"));
+        assert!(text.contains("n=1 mean=1234"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let text = render(&TraceSnapshot::default());
+        assert!(text.contains("0 events on 0 threads"));
+        assert!(!text.contains("serialize round-trip"));
+    }
+}

@@ -18,4 +18,16 @@ cargo test --workspace -q
 echo "== lbmf-check smoke pass (DFS, preemption bound 2, <5s) =="
 cargo run -p lbmf-check --example smoke --release
 
+echo "== trace smoke: traced Dekker run + exporter self-check =="
+# The example validates its own Chrome JSON (validate_with_serialize_pair)
+# and exits nonzero if the trace is malformed or lacks a serialize
+# request/deliver pair; the grep double-checks the file landed on disk
+# with at least one completed round trip.
+cargo run --release --example trace_dekker target/ci_trace_dekker.trace.json
+grep -q '"name":"serialize-deliver"' target/ci_trace_dekker.trace.json
+
+echo "== zero-cost-when-disabled: trace feature compiles out =="
+cargo build --release --no-default-features -p lbmf
+cargo build --release --no-default-features -p lbmf-cilk
+
 echo "ci: all green"

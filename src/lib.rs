@@ -15,6 +15,9 @@
 //!   benchmark kernels of Figure 4.
 //! * [`des`] — discrete-event simulations reproducing the multi-core
 //!   experiments (Figures 5(b) and 6) on a single-core host.
+//! * [`trace`] — zero-fence event tracing: per-thread lock-free rings fed
+//!   by the runtime crates (behind their `trace` feature), with Chrome
+//!   trace-event / Prometheus / summary exporters.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record.
@@ -23,3 +26,4 @@ pub use lbmf as fences;
 pub use lbmf_cilk as cilk;
 pub use lbmf_des as des;
 pub use lbmf_sim as sim;
+pub use lbmf_trace as trace;
