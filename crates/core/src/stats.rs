@@ -98,6 +98,21 @@ impl FenceStatsSnapshot {
         self.primary_compiler_fences
     }
 
+    /// Every counter as a `(stable_name, value)` pair, in declaration
+    /// order. The names are part of the observability schema: exporters
+    /// (Prometheus `/metrics`, `BENCH_<n>.json`) iterate this instead of
+    /// hand-listing fields, so a counter added here automatically reaches
+    /// every export — and renaming one is a schema change.
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("primary_full_fences", self.primary_full_fences),
+            ("primary_compiler_fences", self.primary_compiler_fences),
+            ("secondary_full_fences", self.secondary_full_fences),
+            ("serializations_requested", self.serializations_requested),
+            ("serializations_delivered", self.serializations_delivered),
+        ]
+    }
+
     /// Per-field difference `self - earlier`: the activity between two
     /// snapshots of the same [`FenceStats`]. Counters are monotone, so on
     /// snapshots taken in order from one instance this is exact per field
@@ -178,6 +193,30 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.snapshot().diff(&stale).primary_compiler_fences, 0);
+    }
+
+    #[test]
+    fn fields_cover_every_counter_with_stable_names() {
+        let s = FenceStats::new();
+        FenceStats::bump(&s.primary_full_fences);
+        FenceStats::bump(&s.secondary_full_fences);
+        FenceStats::bump(&s.secondary_full_fences);
+        let snap = s.snapshot();
+        let fields = snap.fields();
+        assert_eq!(
+            fields.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            [
+                "primary_full_fences",
+                "primary_compiler_fences",
+                "secondary_full_fences",
+                "serializations_requested",
+                "serializations_delivered"
+            ]
+        );
+        let get = |name: &str| fields.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert_eq!(get("primary_full_fences"), 1);
+        assert_eq!(get("secondary_full_fences"), 2);
+        assert_eq!(get("serializations_requested"), 0);
     }
 
     #[test]

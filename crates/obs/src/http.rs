@@ -1,0 +1,196 @@
+//! A dependency-free, std-only HTTP/1.1 server for the two observability
+//! endpoints — deliberately minimal: blocking accept loop on its own
+//! thread, one short-lived connection at a time, `Connection: close` on
+//! every response. A Prometheus scraper polls at multi-second intervals;
+//! anything fancier would be dead weight next to the runtime under test.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — the closure's exposition-format payload;
+//! * `GET /healthz` — `ok` (liveness for the scrape job);
+//! * anything else — 404.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running metrics server. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the accept loop and joins the
+/// serving thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (use port 0 for an ephemeral port — see
+    /// [`local_addr`](Self::local_addr)) and serve `metrics` on
+    /// `/metrics` until shutdown. The closure runs per scrape, on the
+    /// serving thread: it drains the trace rings then, so the traced
+    /// workload itself never pays for a scrape ("the drainer pays", one
+    /// layer up).
+    pub fn start<F>(addr: &str, metrics: F) -> std::io::Result<MetricsServer>
+    where
+        F: Fn() -> String + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("lbmf-obs-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // A stuck client must not wedge the endpoint forever.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    let _ = serve_one(stream, &metrics);
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the serving thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.handle.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept() by connecting once; the loop re-checks the
+        // stop flag before serving.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn respond(
+    mut stream: TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn serve_one<F: Fn() -> String>(stream: TcpStream, metrics: &F) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the header block so the client sees a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    match path {
+        "/metrics" => {
+            let body = metrics();
+            // Prometheus text exposition format, version 0.0.4.
+            respond(
+                stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/healthz" => respond(stream, "200 OK", "text/plain", "ok\n"),
+        _ => respond(stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// Blocking single-request client for tests and the CLI: GET `path` and
+/// return `(status_line, body)`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: lbmf\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header/body split"))?;
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_healthz_and_404_then_shuts_down() {
+        let mut server =
+            MetricsServer::start("127.0.0.1:0", || "demo_metric 1\n".to_string()).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "demo_metric 1\n");
+
+        let (status, body) = get(addr, "/healthz").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+
+        let (status, _) = get(addr, "/nope").unwrap();
+        assert!(status.contains("404"), "{status}");
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+        assert!(
+            get(addr, "/healthz").is_err(),
+            "server must stop accepting after shutdown"
+        );
+    }
+
+    #[test]
+    fn metrics_closure_sees_fresh_state_per_scrape() {
+        use std::sync::atomic::AtomicU64;
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        let server = MetricsServer::start("127.0.0.1:0", move || {
+            format!("scrapes_total {}\n", n2.fetch_add(1, Ordering::Relaxed) + 1)
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        assert_eq!(get(addr, "/metrics").unwrap().1, "scrapes_total 1\n");
+        assert_eq!(get(addr, "/metrics").unwrap().1, "scrapes_total 2\n");
+    }
+}

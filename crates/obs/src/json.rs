@@ -1,0 +1,386 @@
+//! A small JSON value model with a recursive-descent parser and a
+//! writer — the read side of the observatory. The trace crate already
+//! ships a *validating* parser for Chrome traces; `compare` additionally
+//! needs the parsed values back, so this module materializes a
+//! [`Json`] tree. No registry dependencies, by the repo's offline rule.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Objects keep a sorted map — BENCH files are
+/// machine-written and key order carries no meaning.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as f64; BENCH files stay well inside the
+    /// 2^53 exact-integer range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number value as u64, if this is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Serialize back to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        s: text.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Parse JSONL: one JSON value per non-empty line (the
+/// `LBMF_BENCH_JSON` collection format).
+pub fn parse_lines(text: &str) -> Result<Vec<Json>, String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .enumerate()
+        .map(|(i, l)| parse(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.literal("null").map(|_| Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.s.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("expected number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&c) = self.s.get(self.i) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.s.get(self.i) else {
+                        return Err(self.err("dangling escape"));
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' | b'\\' | b'/' => out.push(e as char),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            // Surrogates degrade to the replacement char;
+                            // BENCH content is ASCII in practice.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Re-decode the multi-byte UTF-8 sequence.
+                    let start = self.i - 1;
+                    let len = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .s
+                        .get(start..start + len)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or_else(|| self.err("invalid utf-8"))?;
+                    out.push_str(chunk);
+                    self.i = start + len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.eat(b':')?;
+            let v = self.value()?;
+            map.insert(k, v);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Convenience constructor for object literals in writer code.
+pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars_and_nesting() {
+        let text = r#"{"a":1,"b":-2.5,"c":"x\"y\n","d":[true,false,null],"e":{"f":[]}}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_f64(), Some(-2.5));
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x\"y\n"));
+        assert_eq!(v.get("d").unwrap().as_arr().unwrap().len(), 3);
+        // render → parse is a fixpoint.
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "1 2", "{\"a\":1}x", "nul", "\"\\q\""] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parses_bench_jsonl() {
+        let text = "\n{\"name\":\"a\",\"mean_ns\":1.5}\n\n{\"name\":\"b\",\"mean_ns\":2}\n";
+        let rows = parse_lines(text).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("name").unwrap().as_str(), Some("b"));
+        assert!(parse_lines("{\"a\":1}\nnot json").is_err());
+    }
+
+    #[test]
+    fn number_writer_keeps_integers_exact() {
+        assert_eq!(Json::Num(31536000.0).render(), "31536000");
+        assert_eq!(Json::Num(0.125).render(), "0.125");
+        assert_eq!(parse("1e3").unwrap().as_u64(), Some(1000));
+    }
+
+    #[test]
+    fn unicode_and_escapes_survive() {
+        let v = parse(r#""caf\u00e9 ☕""#).unwrap();
+        assert_eq!(v.as_str(), Some("café ☕"));
+        let round = parse(&v.render()).unwrap();
+        assert_eq!(round, v);
+    }
+}

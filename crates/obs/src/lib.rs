@@ -1,0 +1,33 @@
+//! # lbmf-obs — the perf observatory
+//!
+//! The paper's argument is quantitative; until this crate, the repo's
+//! numbers evaporated at process exit. `lbmf-obs` gives the benchmark
+//! suite a memory and the runtime a pulse:
+//!
+//! * **`record`** ([`suite`]) drives the benchmark suite in process and
+//!   writes a schema-versioned `BENCH_<n>.json` ([`schema`]) at the
+//!   repository root: per-benchmark min/mean/max ns-per-iter with sample
+//!   count and coefficient of variation, the fence-strategy label,
+//!   [`FenceStats`](lbmf::stats::FenceStats) counter diffs, serialize
+//!   round-trip percentiles from the trace rings, and host metadata.
+//! * **`compare`** ([`compare`]) loads two recordings and reports
+//!   noise-aware deltas — each benchmark's regression threshold scales
+//!   with its own measured CV — with a `--gate` mode for CI.
+//! * **`serve`** ([`http`], [`metrics`]) exposes `/metrics` (Prometheus
+//!   exposition format: the live trace-ring export plus fence counters)
+//!   and `/healthz` from a std-only HTTP server, so a long-running
+//!   workload can be scraped while it steals.
+//!
+//! Everything is std-only ([`json`] is a hand-rolled parser/writer) —
+//! the observatory obeys the same offline-build rule as the runtime it
+//! watches, and its instrumentation reads are all drainer-side: scraping
+//! `/metrics` never adds a fence to the traced fast path.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod schema;
+pub mod suite;

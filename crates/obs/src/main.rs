@@ -1,0 +1,257 @@
+//! `lbmf-obs` CLI: `record`, `compare`, `serve`. See `lbmf_obs` (the
+//! library half) for what each subcommand is made of, and EXPERIMENTS.md
+//! for the recipes CI and humans follow.
+
+use lbmf_bench::Args;
+use lbmf_obs::schema::{bench_files, next_index, BenchReport};
+use lbmf_obs::{compare, http, metrics, suite};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const USAGE: &str = "\
+lbmf-obs — perf observatory for the lbmf runtime
+
+USAGE:
+    lbmf-obs record  [--quick] [--dir DIR] [--out PATH] [--ingest PATH]
+    lbmf-obs compare [--dir DIR] [--baseline PATH] [--candidate PATH] [--gate] [--advisory]
+    lbmf-obs compare --self-check [PATH] [--dir DIR]
+    lbmf-obs serve   [--addr HOST:PORT] [--workers N] [--duration-secs N]
+
+record:   run the benchmark suite, write BENCH_<n>.json (next free n, floor 3).
+          --quick uses 5 ms measurement batches (CI smoke; noisier, and
+          flagged as such in the file). --ingest folds a mini-criterion
+          JSONL collection (LBMF_BENCH_JSON hook) into the report.
+compare:  newest recording vs the one before it (or explicit paths).
+          Deltas are noise-aware: threshold = max(5%, 3×cv), doubled for
+          quick recordings. --gate exits 2 on confirmed regressions;
+          --advisory downgrades the gate to a warning (1-core CI hosts).
+          --self-check validates a recording parses against the schema.
+serve:    run a steal-heavy ACilk-5 workload and serve /metrics + /healthz
+          until --duration-secs elapses (0 = forever, default).
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let sub = argv.first().map(String::as_str);
+    let rest: Vec<&str> = argv.iter().skip(1).map(String::as_str).collect();
+    let args = Args::from(&rest);
+    match sub {
+        Some("record") => cmd_record(&args),
+        Some("compare") => cmd_compare(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dir_of(args: &Args) -> PathBuf {
+    PathBuf::from(args.value("--dir").unwrap_or("."))
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("lbmf-obs: {msg}");
+    ExitCode::FAILURE
+}
+
+fn cmd_record(args: &Args) -> ExitCode {
+    let quick = args.flag("--quick");
+    let dir = dir_of(args);
+    println!(
+        "recording {} suite (batch window {:?})...",
+        if quick { "quick" } else { "full" },
+        suite::target_for(quick)
+    );
+    let mut report = suite::run(quick);
+
+    // The LBMF_BENCH_JSON hook: fold externally collected rows in.
+    let ingest_path = args
+        .value("--ingest")
+        .map(str::to_string)
+        .or_else(|| std::env::var("LBMF_BENCH_JSON").ok().filter(|p| !p.is_empty()));
+    if let Some(path) = ingest_path {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match suite::ingest_jsonl(&mut report, &text) {
+                Ok(n) => println!("ingested {n} external result(s) from {path}"),
+                Err(e) => return fail(&format!("ingest {path}: {e}")),
+            },
+            Err(e) => eprintln!("note: no ingestable JSONL at {path} ({e})"),
+        }
+    }
+
+    let out = match args.value("--out") {
+        Some(p) => PathBuf::from(p),
+        None => dir.join(format!("BENCH_{}.json", next_index(&dir))),
+    };
+    let text = report.render();
+    // Round-trip before writing: a file `compare` cannot read back must
+    // never land on disk.
+    if let Err(e) = BenchReport::parse(&text) {
+        return fail(&format!("internal error: recording fails self-parse: {e}"));
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        return fail(&format!("write {}: {e}", out.display()));
+    }
+    println!(
+        "wrote {} ({} benchmarks, host {}/{} cpus={})",
+        out.display(),
+        report.benchmarks.len(),
+        report.host.os,
+        report.host.arch,
+        report.host.cpus
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &Args) -> ExitCode {
+    let dir = dir_of(args);
+    if args.flag("--self-check") {
+        // `--self-check [PATH]`: explicit file, else the newest recording.
+        let path = match args.value("--self-check").filter(|v| !v.starts_with("--")) {
+            Some(p) => PathBuf::from(p),
+            None => match bench_files(&dir).pop() {
+                Some((_, p)) => p,
+                None => return fail(&format!("no BENCH_*.json under {}", dir.display())),
+            },
+        };
+        return match BenchReport::load(&path) {
+            Ok(r) => {
+                println!(
+                    "{}: schema ok ({} benchmarks, recorded_unix {}, quick={})",
+                    path.display(),
+                    r.benchmarks.len(),
+                    r.recorded_unix,
+                    r.quick
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        };
+    }
+
+    let files = bench_files(&dir);
+    let candidate_path = match args.value("--candidate") {
+        Some(p) => PathBuf::from(p),
+        None => match files.last() {
+            Some((_, p)) => p.clone(),
+            None => return fail(&format!("no BENCH_*.json under {}", dir.display())),
+        },
+    };
+    let baseline_path = match args.value("--baseline") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            // Newest prior recording that isn't the candidate itself.
+            match files
+                .iter()
+                .rev()
+                .map(|(_, p)| p)
+                .find(|p| **p != candidate_path)
+            {
+                Some(p) => p.clone(),
+                None => return fail("need two recordings (or --baseline) to compare"),
+            }
+        }
+    };
+    let baseline = match BenchReport::load(&baseline_path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    let candidate = match BenchReport::load(&candidate_path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    println!(
+        "baseline:  {} (recorded_unix {})",
+        baseline_path.display(),
+        baseline.recorded_unix
+    );
+    println!(
+        "candidate: {} (recorded_unix {})",
+        candidate_path.display(),
+        candidate.recorded_unix
+    );
+    let cmp = compare::compare(&baseline, &candidate);
+    print!("{}", cmp.render());
+    let regressions = cmp.regressions().count();
+    if args.flag("--gate") && regressions > 0 {
+        if args.flag("--advisory") {
+            eprintln!("gate (advisory): {regressions} regression(s) — not failing the build");
+        } else {
+            eprintln!("gate: {regressions} confirmed regression(s)");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &Args) -> ExitCode {
+    use lbmf::strategy::{FenceStrategy, SignalFence};
+    use lbmf_cilk::bench::{Kernel, Scale};
+    use lbmf_cilk::Scheduler;
+
+    let addr = args.value("--addr").unwrap_or("127.0.0.1:9478");
+    let workers: usize = args.get("--workers", 2);
+    let duration_secs: u64 = args.get("--duration-secs", 0);
+
+    let strategy = Arc::new(SignalFence::new());
+    let strategy_for_metrics = strategy.clone();
+    let server = match http::MetricsServer::start(addr, move || {
+        metrics::render_all(&[(
+            strategy_for_metrics.name().to_string(),
+            strategy_for_metrics.stats().snapshot(),
+        )])
+    }) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("bind {addr}: {e}")),
+    };
+    println!(
+        "serving http://{}/metrics and /healthz ({} ACilk-5 workers, {})",
+        server.local_addr(),
+        workers,
+        if duration_secs == 0 {
+            "until killed".to_string()
+        } else {
+            format!("for {duration_secs}s")
+        }
+    );
+
+    // The workload: an ACilk-5 scheduler stealing continuously. One
+    // driver thread resubmits Figure-4 kernels; the scrape thread only
+    // ever reads counters and drains rings.
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let strategy2 = strategy.clone();
+    let driver = std::thread::Builder::new()
+        .name("obs-workload".into())
+        .spawn(move || {
+            let sched = Scheduler::new(workers, strategy2);
+            let kernels = [Kernel::Fib, Kernel::Cilksort, Kernel::Nqueens];
+            let mut i = 0usize;
+            while !stop2.load(Ordering::Relaxed) {
+                let k = kernels[i % kernels.len()];
+                std::hint::black_box(k.run_timed(&sched, Scale::Test).checksum);
+                i += 1;
+            }
+            i
+        })
+        .expect("spawn workload");
+
+    if duration_secs == 0 {
+        let _ = driver.join();
+    } else {
+        std::thread::sleep(std::time::Duration::from_secs(duration_secs));
+        stop.store(true, Ordering::Relaxed);
+        let runs = driver.join().unwrap_or(0);
+        let stats = strategy.stats().snapshot();
+        println!("workload finished: {runs} kernel runs; {stats}");
+    }
+    drop(server);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,82 @@
+//! Prometheus rendering of the runtime's aggregate counters, composed
+//! with `lbmf_trace`'s event export into the one payload `/metrics`
+//! serves.
+//!
+//! The counter families live here rather than in `lbmf-trace` because
+//! the dependency points the other way: `lbmf` (which owns
+//! [`FenceStatsSnapshot`]) depends on `lbmf-trace`, so only a crate
+//! above both — this one — can see a strategy's counters and the trace
+//! rings at once.
+
+use lbmf::stats::FenceStatsSnapshot;
+use std::fmt::Write as _;
+
+/// Render one strategy's counters in exposition format. `strategy` is
+/// the strategy's stable name label (`lbmf-signal`, ...).
+pub fn render_fence_stats(strategy: &str, snap: &FenceStatsSnapshot) -> String {
+    let mut out = String::new();
+    for (field, value) in snap.fields() {
+        let _ = writeln!(
+            out,
+            "# HELP lbmf_fence_{field}_total Cumulative {} since strategy creation.",
+            field.replace('_', " ")
+        );
+        let _ = writeln!(out, "# TYPE lbmf_fence_{field}_total counter");
+        let _ = writeln!(
+            out,
+            "lbmf_fence_{field}_total{{strategy=\"{}\"}} {value}",
+            strategy.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out
+}
+
+/// The full `/metrics` payload: the live trace-ring export followed by
+/// the fence counters of every `(strategy, snapshot)` pair the workload
+/// registered.
+pub fn render_all(stats: &[(String, FenceStatsSnapshot)]) -> String {
+    let mut out = lbmf_trace::prometheus::export(&lbmf_trace::take_snapshot());
+    for (strategy, snap) in stats {
+        out.push_str(&render_fence_stats(strategy, snap));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fence_counters_render_all_fields_with_headers() {
+        let snap = FenceStatsSnapshot {
+            primary_compiler_fences: 7,
+            serializations_requested: 3,
+            ..Default::default()
+        };
+        let text = render_fence_stats("lbmf-signal", &snap);
+        assert!(text.ends_with('\n'));
+        for (field, value) in snap.fields() {
+            assert!(
+                text.contains(&format!("# HELP lbmf_fence_{field}_total")),
+                "{field} HELP missing"
+            );
+            assert!(
+                text.contains(&format!("# TYPE lbmf_fence_{field}_total counter")),
+                "{field} TYPE missing"
+            );
+            assert!(
+                text.contains(&format!(
+                    "lbmf_fence_{field}_total{{strategy=\"lbmf-signal\"}} {value}"
+                )),
+                "{field} sample missing in:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn combined_payload_has_trace_and_fence_families() {
+        let text = render_all(&[("lbmf-signal".into(), FenceStatsSnapshot::default())]);
+        assert!(text.contains("lbmf_trace_events_total"));
+        assert!(text.contains("lbmf_fence_primary_compiler_fences_total"));
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end check of the acceptance criterion: `/metrics` answers
+//! with Prometheus text whose fence counters match the workload's own
+//! `FenceStatsSnapshot` — same numbers, observed two ways.
+
+use lbmf::strategy::{FenceStrategy, SignalFence};
+use lbmf_cilk::bench::{Kernel, Scale};
+use lbmf_cilk::Scheduler;
+use lbmf_obs::{http, metrics};
+use std::sync::Arc;
+
+/// Extract the value of `name{...}` (any label set) from an exposition
+/// payload.
+fn sample_value(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| {
+            l.split(['{', ' '])
+                .next()
+                .is_some_and(|metric| metric == name)
+        })
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+#[test]
+fn metrics_endpoint_matches_workload_fence_stats() {
+    // A real steal-heavy workload on the asymmetric runtime.
+    let strategy = Arc::new(SignalFence::new());
+    let sched = Scheduler::new(2, strategy.clone());
+    let r = Kernel::Fib.run_timed(&sched, Scale::Test);
+    assert!(r.checksum != 0, "workload ran");
+
+    // The workload's own view of what it did.
+    let truth = strategy.stats().snapshot();
+    assert!(
+        truth.primary_compiler_fences > 0,
+        "fence-free pops must have happened: {truth}"
+    );
+
+    // The scraped view.
+    let strategy2 = strategy.clone();
+    let server = http::MetricsServer::start("127.0.0.1:0", move || {
+        metrics::render_all(&[(
+            strategy2.name().to_string(),
+            strategy2.stats().snapshot(),
+        )])
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let (status, body) = http::get(addr, "/metrics").expect("scrape");
+    assert!(status.contains("200 OK"), "{status}");
+    assert!(body.ends_with('\n'));
+
+    // Every counter the snapshot carries appears with exactly the
+    // snapshot's value (the workload is quiescent, so no drift).
+    for (field, value) in truth.fields() {
+        let metric = format!("lbmf_fence_{field}_total");
+        let scraped = sample_value(&body, &metric)
+            .unwrap_or_else(|| panic!("{metric} missing from payload:\n{body}"));
+        assert_eq!(scraped, value as f64, "{metric} disagrees with snapshot");
+    }
+    // The strategy label rides along.
+    assert!(
+        body.contains("strategy=\"lbmf-signal\""),
+        "strategy label missing"
+    );
+
+    // The trace-ring families are in the same payload (steals were
+    // traced by the deque instrumentation).
+    assert!(body.contains("lbmf_trace_events_total"), "trace export missing");
+
+    // Liveness endpoint for the scrape job.
+    let (status, health) = http::get(addr, "/healthz").expect("healthz");
+    assert!(status.contains("200 OK"));
+    assert_eq!(health, "ok\n");
+}
+
+#[test]
+fn scrapes_observe_monotone_counters_across_work() {
+    let strategy = Arc::new(SignalFence::new());
+    let sched = Scheduler::new(2, strategy.clone());
+    let strategy2 = strategy.clone();
+    let server = http::MetricsServer::start("127.0.0.1:0", move || {
+        metrics::render_all(&[(
+            strategy2.name().to_string(),
+            strategy2.stats().snapshot(),
+        )])
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let metric = "lbmf_fence_primary_compiler_fences_total";
+    let before = sample_value(&http::get(addr, "/metrics").unwrap().1, metric).unwrap();
+    Kernel::Nqueens.run_timed(&sched, Scale::Test);
+    let after = sample_value(&http::get(addr, "/metrics").unwrap().1, metric).unwrap();
+    assert!(
+        after > before,
+        "counter must move with the workload: {before} -> {after}"
+    );
+}

@@ -1,0 +1,100 @@
+//! The record → persist → compare loop, end to end in one process:
+//! the quick suite really runs, its report round-trips through the
+//! BENCH_<n>.json text format, and the comparer classifies a synthetic
+//! slowdown as a regression while leaving the identity compare clean.
+
+use lbmf_obs::compare::{compare, Verdict};
+use lbmf_obs::schema::{bench_files, next_index, BenchReport};
+use lbmf_obs::suite;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lbmf_obs_it_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn quick_suite_records_roundtrips_and_gates() {
+    let report = suite::run(true);
+
+    // The suite's contractual contents.
+    for name in [
+        "dekker_entry/symmetric",
+        "dekker_entry/signal",
+        "dekker_entry/no_fence",
+        "fence/full_fence",
+        "fence/compiler_fence",
+        "serialize/signal_roundtrip",
+        "steal/fib_test",
+    ] {
+        let e = report
+            .entry(name)
+            .unwrap_or_else(|| panic!("suite must include {name}"));
+        assert!(e.result.mean_ns > 0.0, "{name}: no timing");
+        assert!(e.result.samples >= 2, "{name}: need samples for a CV");
+    }
+
+    // The paper's claim, visible in the recorded counters: the
+    // asymmetric primary path pays compiler fences, never full fences;
+    // the symmetric baseline pays full fences.
+    let signal = report.entry("dekker_entry/signal").unwrap();
+    let fs = signal.fence_stats.expect("strategy benchmarks carry stats");
+    assert!(fs.primary_compiler_fences > 0, "asymmetric fast path ran");
+    assert_eq!(fs.primary_full_fences, 0, "no mfence on the asymmetric primary");
+    assert_eq!(signal.strategy.as_deref(), Some("lbmf-signal"));
+    let sym = report.entry("dekker_entry/symmetric").unwrap();
+    assert!(sym.fence_stats.unwrap().primary_full_fences > 0);
+
+    // The serialize benchmark drove real round trips and captured their
+    // latency percentiles from the trace rings.
+    let ser = report.entry("serialize/signal_roundtrip").unwrap();
+    let st = ser.fence_stats.unwrap();
+    assert!(st.serializations_requested > 0, "round trips requested");
+    let sl = ser.serialize.expect("serialize percentiles captured");
+    assert!(sl.count > 0 && sl.p50 <= sl.p99, "p50 {} p99 {}", sl.p50, sl.p99);
+
+    // Persist with the BENCH_<n>.json naming and read it back.
+    let dir = temp_dir("record");
+    let n = next_index(&dir);
+    assert_eq!(n, 3, "fresh dir starts at the introducing PR's index");
+    let path = dir.join(format!("BENCH_{n}.json"));
+    let text = report.render();
+    std::fs::write(&path, &text).unwrap();
+    let loaded = BenchReport::load(&path).expect("self-parse");
+    // The text format rounds ns to 3 decimals, so loaded == parse(text)
+    // exactly and re-rendering is a fixpoint.
+    assert_eq!(loaded.render(), text, "render/parse must be a fixpoint");
+    for (orig, back) in report.benchmarks.iter().zip(&loaded.benchmarks) {
+        assert_eq!(orig.result.name, back.result.name);
+        assert!((orig.result.mean_ns - back.result.mean_ns).abs() < 1e-3);
+        assert_eq!(orig.fence_stats, back.fence_stats);
+        assert_eq!(orig.serialize, back.serialize);
+    }
+    assert_eq!(bench_files(&dir).len(), 1);
+    assert_eq!(next_index(&dir), 4);
+
+    // Identity compare: nothing regresses against itself.
+    let id = compare(&loaded, &loaded);
+    assert_eq!(id.regressions().count(), 0);
+    assert!(id
+        .deltas
+        .iter()
+        .all(|d| d.verdict == Verdict::Unchanged));
+
+    // Synthetic 10× slowdown of one benchmark: the gate sees exactly it.
+    let mut slow = loaded.clone();
+    let e = slow
+        .benchmarks
+        .iter_mut()
+        .find(|b| b.result.name == "fence/compiler_fence")
+        .unwrap();
+    e.result.min_ns *= 10.0;
+    e.result.mean_ns *= 10.0;
+    e.result.max_ns *= 10.0;
+    let cmp = compare(&loaded, &slow);
+    let names: Vec<&str> = cmp.regressions().map(|d| d.name.as_str()).collect();
+    assert_eq!(names, ["fence/compiler_fence"], "{:?}", cmp.render());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

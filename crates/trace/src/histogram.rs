@@ -192,6 +192,67 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Log2Histogram::new();
+        a.record(7);
+        a.record(9);
+        let before = (a.count(), a.sum(), a.max(), a.percentile(99));
+        a.merge(&Log2Histogram::new());
+        assert_eq!((a.count(), a.sum(), a.max(), a.percentile(99)), before);
+        let mut empty = Log2Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.percentile(50), a.percentile(50));
+    }
+
+    #[test]
+    fn merged_percentiles_match_recording_into_one() {
+        // Percentiles of a merge must equal percentiles of the union —
+        // the property `TraceSnapshot::latency_histogram` relies on when
+        // it folds per-thread rings into one export.
+        let values_a = [1u64, 3, 8, 20, 900];
+        let values_b = [2u64, 40, 65_000, 70_000, 1_000_000];
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut union = Log2Histogram::new();
+        for v in values_a {
+            a.record(v);
+            union.record(v);
+        }
+        for v in values_b {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        for q in [0u8, 1, 50, 90, 99, 100] {
+            assert_eq!(a.percentile(q), union.percentile(q), "q={q}");
+        }
+        assert_eq!(a.count(), union.count());
+        assert_eq!(a.sum(), union.sum());
+    }
+
+    #[test]
+    fn wrapped_values_saturate_top_bucket_not_overflow() {
+        // The top of the u64 range (bucket 64) and a saturating sum:
+        // recording near-MAX values twice must not wrap anything.
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(99), u64::MAX);
+        let mut other = Log2Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX, "merge sum saturates too");
+        // All three live in the final bucket.
+        assert_eq!(h.nonzero_buckets().count(), 1);
+        assert_eq!(h.nonzero_buckets().next(), Some((u64::MAX, 3)));
+    }
+
+    #[test]
     fn empty_is_safe() {
         let h = Log2Histogram::new();
         assert_eq!(h.percentile(99), 0);

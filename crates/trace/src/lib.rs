@@ -144,6 +144,20 @@ pub struct FenceEvent {
     pub dur: u64,
 }
 
+impl ThreadTrace {
+    /// Log2 histogram of the `dur` field of this thread's events of
+    /// `kind`. Instants (`dur == 0`) of that kind are counted in bucket 0
+    /// — for span kinds like [`EventKind::SerializeDeliver`] a zero
+    /// duration is a real observation (a short-circuited round trip).
+    pub fn latency_histogram(&self, kind: EventKind) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for e in self.events.iter().filter(|e| e.kind == kind) {
+            h.record(e.dur);
+        }
+        h
+    }
+}
+
 /// The drained event stream of one thread.
 #[derive(Clone, Debug, Default)]
 pub struct ThreadTrace {
@@ -185,6 +199,18 @@ impl TraceSnapshot {
             .flat_map(|t| t.events.iter())
             .filter(|e| e.kind == kind)
             .count() as u64
+    }
+
+    /// Aggregate the per-thread duration histograms of `kind` into one
+    /// ([`ThreadTrace::latency_histogram`] merged via
+    /// [`Log2Histogram::merge`]) — the cross-thread view every exporter
+    /// reports percentiles from.
+    pub fn latency_histogram(&self, kind: EventKind) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for t in &self.threads {
+            h.merge(&t.latency_histogram(kind));
+        }
+        h
     }
 }
 
@@ -229,5 +255,73 @@ mod tests {
         assert_eq!(snap.total_dropped(), 3);
         assert_eq!(snap.count(EventKind::PrimaryFence), 2);
         assert_eq!(snap.count(EventKind::StealSuccess), 0);
+    }
+
+    fn deliver(thread: u32, dur: u64) -> FenceEvent {
+        FenceEvent {
+            nanos: 0,
+            thread,
+            kind: EventKind::SerializeDeliver,
+            guarded_addr: 0,
+            dur,
+        }
+    }
+
+    #[test]
+    fn latency_histogram_aggregates_across_threads() {
+        let snap = TraceSnapshot {
+            threads: vec![
+                ThreadTrace {
+                    tid: 0,
+                    name: "a".into(),
+                    events: vec![deliver(0, 100), deliver(0, 200)],
+                    dropped: 0,
+                },
+                ThreadTrace {
+                    tid: 1,
+                    name: "b".into(),
+                    events: vec![
+                        deliver(1, 100_000),
+                        // A different kind must not pollute the histogram.
+                        FenceEvent {
+                            nanos: 0,
+                            thread: 1,
+                            kind: EventKind::SafepointExit,
+                            guarded_addr: 0,
+                            dur: 1,
+                        },
+                    ],
+                    dropped: 0,
+                },
+            ],
+        };
+        let h = snap.latency_histogram(EventKind::SerializeDeliver);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 100_300);
+        assert_eq!(h.max(), 100_000);
+        // Empty snapshot and absent kind both give an empty histogram.
+        assert_eq!(
+            TraceSnapshot::default()
+                .latency_histogram(EventKind::SerializeDeliver)
+                .count(),
+            0
+        );
+        assert_eq!(snap.latency_histogram(EventKind::StealAttempt).count(), 0);
+    }
+
+    #[test]
+    fn latency_histogram_from_wrapped_ring_counts_survivors_only() {
+        // 2^2 = 4 slots, 10 appends: the histogram sees the surviving 4
+        // events and the drop count stays visible on the trace.
+        let ring = ring::ThreadRing::new(0, "wrap", 2);
+        for i in 0..10u64 {
+            ring.append(i, EventKind::SerializeDeliver, 0, i);
+        }
+        let t = ring.drain();
+        assert_eq!(t.dropped, 6);
+        let h = t.latency_histogram(EventKind::SerializeDeliver);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 6 + 7 + 8 + 9);
+        assert_eq!(h.max(), 9);
     }
 }

@@ -6,7 +6,7 @@
 //! render of one snapshot, not a live endpoint — pipe it to a file and
 //! let the scraper read that.
 
-use crate::{EventKind, Log2Histogram, TraceSnapshot};
+use crate::{EventKind, TraceSnapshot};
 use std::fmt::Write as _;
 
 fn label_escape(s: &str) -> String {
@@ -41,14 +41,7 @@ pub fn export(snap: &TraceSnapshot) -> String {
             t.dropped
         );
     }
-    let mut h = Log2Histogram::new();
-    for t in &snap.threads {
-        for e in &t.events {
-            if e.kind == EventKind::SerializeDeliver {
-                h.record(e.dur);
-            }
-        }
-    }
+    let h = snap.latency_histogram(EventKind::SerializeDeliver);
     out.push_str(
         "# HELP lbmf_trace_serialize_latency Serialize round-trip wait (ns real / cycles simulated), log2 buckets.\n",
     );

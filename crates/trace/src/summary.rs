@@ -4,7 +4,7 @@
 //! per kind, per-thread stream sizes with wrap losses, and percentiles of
 //! the serialize round-trip latency.
 
-use crate::{EventKind, Log2Histogram, TraceSnapshot};
+use crate::{EventKind, TraceSnapshot};
 use std::fmt::Write as _;
 
 /// Render a human-readable summary of one snapshot.
@@ -35,14 +35,7 @@ pub fn render(snap: &TraceSnapshot) -> String {
             t.dropped
         );
     }
-    let mut h = Log2Histogram::new();
-    for t in &snap.threads {
-        for e in &t.events {
-            if e.kind == EventKind::SerializeDeliver {
-                h.record(e.dur);
-            }
-        }
-    }
+    let h = snap.latency_histogram(EventKind::SerializeDeliver);
     if h.count() > 0 {
         let _ = writeln!(
             out,

@@ -1,0 +1,196 @@
+//! Conformance checks for the Prometheus exposition-format exporter:
+//! every metric family carries HELP/TYPE lines, metric and label names
+//! are legal, the payload ends in a newline, and counters are monotone
+//! across two successive snapshots of a live ring. A scraper that
+//! rejects any of these would silently drop the whole endpoint, so they
+//! are tested as a contract, not a style preference.
+
+use lbmf_trace::prometheus::export;
+use lbmf_trace::ring::ThreadRing;
+use lbmf_trace::{EventKind, TraceSnapshot};
+use std::collections::HashMap;
+
+/// Metric names: `[a-zA-Z_:][a-zA-Z0-9_:]*` (Prometheus data model).
+fn legal_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Label names: `[a-zA-Z_][a-zA-Z0-9_]*`, and not double-underscored
+/// (reserved).
+fn legal_label_name(s: &str) -> bool {
+    !s.starts_with("__")
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line: metric name, sorted label pairs, value.
+#[derive(Debug, Clone, PartialEq)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parse an exposition-format payload, asserting structural legality as
+/// we go. Returns (samples, help_names, type_names).
+fn parse(text: &str) -> (Vec<Sample>, Vec<String>, Vec<String>) {
+    let mut samples = Vec::new();
+    let mut helps = Vec::new();
+    let mut types = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP names a metric");
+            assert!(legal_metric_name(name), "illegal HELP name {name:?}");
+            helps.push(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE names a metric");
+            let ty = parts.next().expect("TYPE declares a type");
+            assert!(legal_metric_name(name), "illegal TYPE name {name:?}");
+            assert!(
+                ["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty),
+                "unknown TYPE {ty:?}"
+            );
+            types.push(name.to_string());
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment form: {line:?}");
+        // `name{label="v",...} value` or `name value`.
+        let (head, value) = line.rsplit_once(' ').expect("sample has a value");
+        let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}').expect("closed label set");
+                let mut labels = Vec::new();
+                for pair in body.split("\",") {
+                    let pair = pair.strip_suffix('"').unwrap_or(pair);
+                    let (k, v) = pair.split_once("=\"").expect("label k=\"v\"");
+                    assert!(legal_label_name(k), "illegal label name {k:?} in {line:?}");
+                    labels.push((k.to_string(), v.to_string()));
+                }
+                labels.sort();
+                (name.to_string(), labels)
+            }
+        };
+        assert!(legal_metric_name(&name), "illegal metric name {name:?}");
+        samples.push(Sample { name, labels, value });
+    }
+    (samples, helps, types)
+}
+
+fn family_of(name: &str) -> &str {
+    // Histogram series belong to the family named before the suffix.
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
+fn live_snapshot(ring: &ThreadRing) -> TraceSnapshot {
+    TraceSnapshot {
+        threads: vec![ring.drain()],
+    }
+}
+
+#[test]
+fn export_is_conformant_exposition_text() {
+    let ring = ThreadRing::new(0, "conform \"w0\"\n", 6);
+    ring.append(1, EventKind::PrimaryFence, 0xbeef, 0);
+    ring.append(2, EventKind::SerializeRequest, 0xbeef, 0);
+    ring.append(3, EventKind::SerializeDeliver, 0xbeef, 750);
+    ring.append(4, EventKind::SerializeDeliver, 0xbeef, 74_000);
+    let text = export(&live_snapshot(&ring));
+
+    assert!(text.ends_with('\n'), "payload must end with a newline");
+    assert!(!text.contains("\n\n"), "no blank lines inside the payload");
+
+    let (samples, helps, types) = parse(&text);
+    assert!(!samples.is_empty());
+
+    // Every sample's family is declared with both HELP and TYPE, before
+    // first use (parse preserved order, so membership is sufficient given
+    // the exporter writes headers first — assert both).
+    for s in &samples {
+        let fam = family_of(&s.name);
+        assert!(helps.iter().any(|h| h == fam), "no HELP for {fam}");
+        assert!(types.iter().any(|t| t == fam), "no TYPE for {fam}");
+    }
+    // And HELP/TYPE come in pairs.
+    assert_eq!(helps, types, "HELP and TYPE families must match");
+
+    // Histogram contract: buckets cumulative, +Inf bucket equals _count.
+    let buckets: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.name == "lbmf_trace_serialize_latency_bucket")
+        .collect();
+    assert!(buckets.len() >= 2, "two recorded durations, two buckets");
+    let mut last = 0.0;
+    for b in &buckets {
+        assert!(b.value >= last, "bucket counts must be cumulative");
+        last = b.value;
+    }
+    let inf = buckets
+        .iter()
+        .find(|b| b.labels.iter().any(|(k, v)| k == "le" && v == "+Inf"))
+        .expect("+Inf bucket present");
+    let count = samples
+        .iter()
+        .find(|s| s.name == "lbmf_trace_serialize_latency_count")
+        .expect("_count series present");
+    assert_eq!(inf.value, count.value, "le=+Inf must equal _count");
+
+    // The escaped thread name must not have produced a raw newline or
+    // quote inside a label value.
+    let dropped = samples
+        .iter()
+        .find(|s| s.name == "lbmf_trace_dropped_total")
+        .expect("dropped series present");
+    let (_, v) = dropped.labels.iter().find(|(k, _)| k == "thread").unwrap();
+    assert!(v.contains("\\\"") && v.contains("\\n"), "escapes kept: {v:?}");
+}
+
+#[test]
+fn counters_are_monotonic_across_snapshots() {
+    let ring = ThreadRing::new(0, "mono", 8);
+    ring.append(1, EventKind::PrimaryFence, 0, 0);
+    ring.append(2, EventKind::SerializeDeliver, 0, 10);
+    let (first, _, _) = parse(&export(&live_snapshot(&ring)));
+
+    // More traffic, including a latency observation in a new bucket.
+    ring.append(3, EventKind::PrimaryFence, 0, 0);
+    ring.append(4, EventKind::StealAttempt, 0, 0);
+    ring.append(5, EventKind::SerializeDeliver, 0, 1_000_000);
+    let (second, _, _) = parse(&export(&live_snapshot(&ring)));
+
+    let index: HashMap<(String, Vec<(String, String)>), f64> = second
+        .iter()
+        .map(|s| ((s.name.clone(), s.labels.clone()), s.value))
+        .collect();
+    for s in &first {
+        // `le` buckets shift as new observations land in higher buckets;
+        // cumulative semantics still guarantee per-series monotonicity.
+        let now = index
+            .get(&(s.name.clone(), s.labels.clone()))
+            .unwrap_or_else(|| panic!("series vanished between scrapes: {s:?}"));
+        assert!(
+            *now >= s.value,
+            "counter went backwards: {} {:?} {} -> {now}",
+            s.name,
+            s.labels,
+            s.value
+        );
+    }
+}

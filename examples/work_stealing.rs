@@ -1,24 +1,38 @@
 //! The ACilk-5 scenario: a work-stealing runtime whose victim/thief deque
 //! protocol uses location-based fences.
 //!
-//! Runs a few of the paper's Figure-4 kernels on the symmetric (Cilk-5
-//! style, mfence per pop) and asymmetric (ACilk-5 style, fence-free pops)
-//! runtimes and prints the ratio plus the steal statistics.
+//! Two modes:
+//!
+//! * default — run a few of the paper's Figure-4 kernels on the
+//!   symmetric (Cilk-5 style, mfence per pop) and asymmetric (ACilk-5
+//!   style, fence-free pops) runtimes and print the ratio plus the steal
+//!   statistics;
+//! * `--serve` — keep an asymmetric runtime stealing continuously and
+//!   expose the observatory's live `/metrics` + `/healthz` endpoints, so
+//!   a Prometheus scraper (or `curl`) can watch fence counters and steal
+//!   events move while the run is in flight.
 //!
 //! ```text
 //! cargo run --release --example work_stealing [workers]
+//! cargo run --release --example work_stealing -- --serve [--addr 127.0.0.1:9478] \
+//!     [--workers N] [--duration-secs N]
 //! ```
 
 use lbmf_repro::cilk::bench::{Kernel, Scale};
 use lbmf_repro::cilk::Scheduler;
 use lbmf_repro::fences::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn main() {
-    let workers: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--serve") {
+        let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
+        serve(&lbmf_bench::Args::from(&refs));
+        return;
+    }
+
+    let workers: usize = argv.first().and_then(|a| a.parse().ok()).unwrap_or(2);
 
     let symmetric = Scheduler::new(workers, Arc::new(Symmetric::new()));
     let asymmetric = Scheduler::new(workers, Arc::new(SignalFence::new()));
@@ -54,4 +68,69 @@ fn main() {
         "  every steal attempt serialized the victim remotely; the victim \
          itself never executed a hardware fence."
     );
+}
+
+/// The scrapeable long run: ACilk-5 steals while lbmf-obs serves its
+/// counters. `curl http://<addr>/metrics` mid-run to watch.
+fn serve(args: &lbmf_bench::Args) {
+    let addr = args.value("--addr").unwrap_or("127.0.0.1:9478");
+    let workers: usize = args.get("--workers", 2);
+    let duration_secs: u64 = args.get("--duration-secs", 30);
+
+    let strategy = Arc::new(SignalFence::new());
+    let strategy_for_metrics = strategy.clone();
+    let server = lbmf_obs::http::MetricsServer::start(addr, move || {
+        lbmf_obs::metrics::render_all(&[(
+            strategy_for_metrics.name().to_string(),
+            strategy_for_metrics.stats().snapshot(),
+        )])
+    })
+    .expect("bind metrics endpoint");
+    println!(
+        "ACilk-5 stealing on {workers} workers; scrape http://{}/metrics for {duration_secs}s \
+         (0 = until killed)",
+        server.local_addr()
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let strategy2 = strategy.clone();
+    let driver = std::thread::Builder::new()
+        .name("work-stealing-driver".into())
+        .spawn(move || {
+            let sched = Scheduler::new(workers, strategy2);
+            let kernels = [Kernel::Fib, Kernel::Cilksort, Kernel::Nqueens];
+            let mut runs = 0usize;
+            while !stop2.load(Ordering::Relaxed) {
+                let k = kernels[runs % kernels.len()];
+                std::hint::black_box(k.run_timed(&sched, Scale::Test).checksum);
+                runs += 1;
+            }
+            runs
+        })
+        .expect("spawn driver");
+
+    if duration_secs == 0 {
+        let _ = driver.join();
+        return;
+    }
+    std::thread::sleep(std::time::Duration::from_secs(duration_secs));
+    stop.store(true, Ordering::Relaxed);
+    let runs = driver.join().unwrap_or(0);
+    let stats = strategy.stats().snapshot();
+    println!("done: {runs} kernel runs; {stats}");
+    // Final self-scrape so the run's last counters are visible even
+    // without an external scraper.
+    let (status, body) =
+        lbmf_obs::http::get(server.local_addr(), "/metrics").expect("self-scrape");
+    assert!(status.contains("200"), "{status}");
+    let needle = format!(
+        "lbmf_fence_serializations_delivered_total{{strategy=\"lbmf-signal\"}} {}",
+        stats.serializations_delivered
+    );
+    assert!(
+        body.contains(&needle),
+        "endpoint and snapshot must agree on {needle:?}"
+    );
+    println!("final scrape consistent with FenceStatsSnapshot ({} bytes)", body.len());
 }

@@ -30,4 +30,18 @@ echo "== zero-cost-when-disabled: trace feature compiles out =="
 cargo build --release --no-default-features -p lbmf
 cargo build --release --no-default-features -p lbmf-cilk
 
+echo "== obs smoke: quick record + schema self-check + advisory gate =="
+# Quick mode shrinks the mini-criterion window to 5 ms per batch so the
+# whole suite lands in a few seconds; the self-check re-parses the file
+# through the same loader `compare` uses. The gate runs in advisory mode
+# on this 1-core CI host — timing deltas are reported, never fatal; the
+# committed BENCH_<n>.json baselines are the perf trajectory of record.
+cargo run --release -p lbmf-obs -- record --quick --out target/ci_bench.json
+cargo run --release -p lbmf-obs -- compare --self-check target/ci_bench.json
+baseline=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
+if [ -n "$baseline" ]; then
+    cargo run --release -p lbmf-obs -- compare \
+        --baseline "$baseline" --candidate target/ci_bench.json --gate --advisory
+fi
+
 echo "ci: all green"
