@@ -20,7 +20,7 @@
 use crate::job::JobCore;
 use crate::stats::WorkerStats;
 #[allow(unused_imports)]
-use crate::tracing::trace_event;
+use crate::tracing::{trace_event_corr, trace_mint_corr};
 use lbmf::hooks::{load_i64, load_ptr, store_i64, store_ptr};
 use lbmf::registry::RemoteThread;
 use lbmf::strategy::FenceStrategy;
@@ -150,20 +150,26 @@ impl<S: FenceStrategy> TheDeque<S> {
     /// Thief: try to steal the oldest job. Every attempt pays the
     /// secondary-side cost: a fence plus a remote serialization of the
     /// victim (a no-op under the symmetric strategy).
+    ///
+    /// The whole attempt is one causal chain: the `steal-attempt`, the
+    /// victim-serialization phases it triggers, and (on success) the
+    /// `steal-success` all share one correlation id, so a trace shows
+    /// *which* steal paid *which* serialization round trip.
     pub fn steal(&self, stats: &WorkerStats) -> Steal<S> {
         let guard = match self.lock.try_lock() {
             Some(g) => g,
             None => return Steal::Retry,
         };
         WorkerStats::bump(&stats.steal_attempts);
-        trace_event!(StealAttempt, self as *const _ as usize);
+        let corr = trace_mint_corr!();
+        trace_event_corr!(StealAttempt, self as *const _ as usize, corr);
         let h = load_i64(&self.head, Ordering::Relaxed);
         store_i64(&self.head, h + 1, Ordering::Relaxed); // H++
         self.strategy.secondary_fence();
         if let Some(owner) = self.owner.get() {
             // Location-based serialization: force the victim's (possibly
             // buffered) T decrement out so the comparison below is sound.
-            self.strategy.serialize_remote(owner);
+            self.strategy.serialize_remote_corr(owner, corr);
         }
         let t = load_i64(&self.tail, Ordering::Acquire);
         if h + 1 > t {
@@ -174,7 +180,7 @@ impl<S: FenceStrategy> TheDeque<S> {
         let job = load_ptr(self.slot(h), Ordering::Relaxed);
         drop(guard);
         WorkerStats::bump(&stats.steals);
-        trace_event!(StealSuccess, self as *const _ as usize);
+        trace_event_corr!(StealSuccess, self as *const _ as usize, corr);
         Steal::Success(job)
     }
 }

@@ -2,16 +2,32 @@
 //! feature (mirror of `lbmf`'s private `trace` module — macros cannot be
 //! shared across crates without exporting them, and these are not API).
 
-/// Record an instant event: `trace_event!(Kind, addr)`.
-macro_rules! trace_event {
-    ($kind:ident, $addr:expr) => {{
+/// Record an instant event carrying a causal correlation id:
+/// `trace_event_corr!(Kind, addr, corr)`.
+macro_rules! trace_event_corr {
+    ($kind:ident, $addr:expr, $corr:expr) => {{
         #[cfg(feature = "trace")]
-        ::lbmf_trace::record(::lbmf_trace::EventKind::$kind, $addr, 0);
+        ::lbmf_trace::record_corr(::lbmf_trace::EventKind::$kind, $addr, 0, $corr);
         #[cfg(not(feature = "trace"))]
         {
-            let _ = &$addr;
+            let _ = (&$addr, &$corr);
         }
     }};
 }
 
-pub(crate) use trace_event;
+/// Mint a correlation id for one causal chain (0 with tracing compiled
+/// out).
+macro_rules! trace_mint_corr {
+    () => {{
+        #[cfg(feature = "trace")]
+        {
+            ::lbmf_trace::next_corr_id()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0u64
+        }
+    }};
+}
+
+pub(crate) use {trace_event_corr, trace_mint_corr};

@@ -16,7 +16,7 @@
 
 use crate::sys;
 #[allow(unused_imports)]
-use crate::trace::{trace_span_end, trace_span_start};
+use crate::trace::{trace_event_corr, trace_mint_corr, trace_span_end_corr, trace_span_start};
 use std::os::raw::{c_int, c_void};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Once};
@@ -35,6 +35,24 @@ pub struct ThreadSlot {
     /// serialization as trivially complete (a dead thread has no store
     /// buffer to flush).
     active: AtomicBool,
+    /// Causal-span handoff: the requester stores its chain's correlation
+    /// id here before queueing the signal; the handler reads it back to
+    /// stamp its phase events. Plain relaxed word, last-writer-wins under
+    /// concurrent requesters — a lost id turns into an orphan in the
+    /// attribution report, mirroring the protocol's own "accept a
+    /// concurrent ack" looseness, and never affects correctness.
+    #[cfg(feature = "trace")]
+    pending_corr: AtomicU64,
+    /// The handler's own event ring. The handler cannot touch the target
+    /// thread's TLS ring (it may have interrupted that very thread
+    /// mid-append, and a reentrant append would corrupt the seqlock
+    /// protocol), so each slot gets a dedicated aux ring. Single-producer
+    /// holds because the serialization signal is auto-blocked during its
+    /// own handler (no `SA_NODEFER`), so handler runs on one thread never
+    /// overlap. `OnceLock::get` from the handler is one atomic load —
+    /// async-signal-safe, as are the ring's preallocated relaxed stores.
+    #[cfg(feature = "trace")]
+    handler_ring: std::sync::OnceLock<Arc<lbmf_trace::ThreadRing>>,
 }
 
 impl ThreadSlot {
@@ -45,6 +63,10 @@ impl ThreadSlot {
             ack: AtomicU64::new(0),
             handled: AtomicU64::new(0),
             active: AtomicBool::new(true),
+            #[cfg(feature = "trace")]
+            pending_corr: AtomicU64::new(0),
+            #[cfg(feature = "trace")]
+            handler_ring: std::sync::OnceLock::new(),
         }
     }
 
@@ -97,6 +119,19 @@ impl RemoteThread {
     /// snapshot also begins after our caller's preceding `mfence`, which is
     /// all the Dekker argument needs.
     pub fn serialize(&self) -> bool {
+        self.serialize_with_corr(trace_mint_corr!())
+    }
+
+    /// [`RemoteThread::serialize`] as one phase-stamped causal chain:
+    /// `corr` (usually from the strategy's `serialize-request` event)
+    /// links the requester-side `serialize-signal-sent` /
+    /// `serialize-ack-observed` instants and the handler-side
+    /// `serialize-handler-enter` / `serialize-drained` stamps into one
+    /// cross-thread span. Pass `corr = 0` (or build without the `trace`
+    /// feature) for an uncorrelated round trip.
+    pub fn serialize_with_corr(&self, corr: u64) -> bool {
+        #[cfg(not(feature = "trace"))]
+        let _ = corr;
         if !self.slot.is_active() {
             return false;
         }
@@ -108,6 +143,10 @@ impl RemoteThread {
         }
         let start = trace_span_start!();
         let before = self.slot.ack.load(Ordering::Acquire);
+        // Publish the chain id for the handler before the signal exists;
+        // see `ThreadSlot::pending_corr` for the concurrent-sender story.
+        #[cfg(feature = "trace")]
+        self.slot.pending_corr.store(corr, Ordering::Relaxed);
         let sig = serialization_signal();
         let value = sys::sigval {
             sival_ptr: Arc::as_ptr(&self.slot) as *mut c_void,
@@ -119,12 +158,14 @@ impl RemoteThread {
             self.slot.active.store(false, Ordering::Release);
             return false;
         }
+        trace_event_corr!(SerializeSignalSent, self.key(), corr);
         crate::fence::spin_until(|| {
             self.slot.ack.load(Ordering::Acquire) > before || !self.slot.is_active()
         });
+        trace_event_corr!(SerializeAckObserved, self.key(), corr);
         // Recorded on the *secondary* (calling) thread — the handler must
         // stay async-signal-safe and the primary's ring single-producer.
-        trace_span_end!(SerializeDeliver, self.key(), start);
+        trace_span_end_corr!(SerializeDeliver, self.key(), start, corr);
         true
     }
 }
@@ -162,6 +203,13 @@ fn serialization_signal() -> c_int {
 /// The signal handler: the kernel's delivery path has already drained the
 /// receiving CPU's store buffer (that is the prototype's entire mechanism);
 /// we add an explicit fence for portability, then ack.
+///
+/// The causal-span stamps bracket the fence: `serialize-handler-enter`
+/// before it, `serialize-drained` after, both into the slot's dedicated
+/// handler ring (see `ThreadSlot::handler_ring` for why not the TLS ring
+/// and why single-producer holds). Everything here stays
+/// async-signal-safe: atomic loads/stores into preallocated slots plus
+/// vDSO clock reads (warmed at registration).
 extern "C" fn serialize_handler(_sig: c_int, info: *mut sys::siginfo_t, _ctx: *mut c_void) {
     // SAFETY: senders always place a valid `*const ThreadSlot` in si_value
     // and keep the Arc alive until the ack arrives.
@@ -170,7 +218,34 @@ extern "C" fn serialize_handler(_sig: c_int, info: *mut sys::siginfo_t, _ctx: *m
         if slot_ptr.is_null() {
             return;
         }
+        #[cfg(feature = "trace")]
+        let stamped = (*slot_ptr)
+            .handler_ring
+            .get()
+            .filter(|_| lbmf_trace::is_enabled())
+            .map(|ring| {
+                let corr = (*slot_ptr).pending_corr.load(Ordering::Relaxed);
+                let enter = lbmf_trace::now_nanos();
+                ring.append_corr(
+                    enter,
+                    lbmf_trace::EventKind::SerializeHandlerEnter,
+                    slot_ptr as usize,
+                    0,
+                    corr,
+                );
+                (ring, corr)
+            });
         std::sync::atomic::fence(Ordering::SeqCst);
+        #[cfg(feature = "trace")]
+        if let Some((ring, corr)) = stamped {
+            ring.append_corr(
+                lbmf_trace::now_nanos(),
+                lbmf_trace::EventKind::SerializeDrained,
+                slot_ptr as usize,
+                0,
+                corr,
+            );
+        }
         (*slot_ptr).handled.fetch_add(1, Ordering::AcqRel);
         (*slot_ptr).ack.fetch_add(1, Ordering::AcqRel);
     }
@@ -204,6 +279,19 @@ fn registry() -> &'static Mutex<Vec<Arc<ThreadSlot>>> {
 pub fn register_current_thread() -> Registration {
     install_handler_once();
     let slot = Arc::new(ThreadSlot::new(unsafe { sys::pthread_self() }));
+    // Give the signal handler its ring (and warm the trace clock) before
+    // any signal can target this slot. Registration is the only writer,
+    // so `set` cannot fail.
+    #[cfg(feature = "trace")]
+    {
+        let name = std::thread::current()
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| "thread".into());
+        let _ = slot
+            .handler_ring
+            .set(lbmf_trace::register_aux_ring(format!("{name}/serialize-handler")));
+    }
     registry().lock().unwrap().push(slot.clone());
     // Let an active check harness map this slot to its virtual thread, so
     // later `serialize_hook` calls with the same key drain that thread's

@@ -21,7 +21,9 @@ use crate::fence::{compiler_fence_only, full_fence};
 use crate::registry::RemoteThread;
 use crate::stats::FenceStats;
 #[allow(unused_imports)]
-use crate::trace::{trace_event, trace_span_end, trace_span_start};
+use crate::trace::{
+    trace_event, trace_event_corr, trace_mint_corr, trace_span_end_corr, trace_span_start,
+};
 
 /// Ordering actions for one side of an asymmetric synchronization pattern.
 ///
@@ -42,8 +44,20 @@ pub trait FenceStrategy: Send + Sync + 'static {
         trace_event!(SecondaryFence);
     }
 
-    /// Force `target` to serialize its instruction stream.
-    fn serialize_remote(&self, target: &RemoteThread);
+    /// Force `target` to serialize its instruction stream. Mints a fresh
+    /// correlation id for the round trip's causal span (see
+    /// [`FenceStrategy::serialize_remote_corr`]).
+    fn serialize_remote(&self, target: &RemoteThread) {
+        self.serialize_remote_corr(target, trace_mint_corr!());
+    }
+
+    /// [`FenceStrategy::serialize_remote`] under a caller-supplied causal
+    /// correlation id, so a larger operation (a deque steal) can link the
+    /// serialization's phase events into its own chain. `corr = 0` means
+    /// "no chain". Strategies whose serialization is a no-op (symmetric,
+    /// the broken control) ignore the id — they produce no round trip to
+    /// attribute.
+    fn serialize_remote_corr(&self, target: &RemoteThread, corr: u64);
 
     /// Short machine-readable name for reports.
     fn name(&self) -> &'static str;
@@ -80,10 +94,11 @@ impl FenceStrategy for Symmetric {
         trace_event!(PrimaryFullFence);
     }
 
-    fn serialize_remote(&self, target: &RemoteThread) {
+    fn serialize_remote_corr(&self, target: &RemoteThread, _corr: u64) {
         FenceStats::bump(&self.stats.serializations_requested);
         trace_event!(SerializeRequest, target.key());
-        // Nothing to do: the primary executed a real fence itself.
+        // Nothing to do: the primary executed a real fence itself (and
+        // with no round trip there is no chain to correlate).
     }
 
     fn name(&self) -> &'static str {
@@ -126,10 +141,10 @@ impl FenceStrategy for SignalFence {
         trace_event!(PrimaryFence);
     }
 
-    fn serialize_remote(&self, target: &RemoteThread) {
+    fn serialize_remote_corr(&self, target: &RemoteThread, corr: u64) {
         FenceStats::bump(&self.stats.serializations_requested);
-        trace_event!(SerializeRequest, target.key());
-        if target.serialize() {
+        trace_event_corr!(SerializeRequest, target.key(), corr);
+        if target.serialize_with_corr(corr) {
             FenceStats::bump(&self.stats.serializations_delivered);
         }
     }
@@ -193,14 +208,17 @@ impl FenceStrategy for MembarrierFence {
         trace_event!(PrimaryFence);
     }
 
-    fn serialize_remote(&self, target: &RemoteThread) {
+    fn serialize_remote_corr(&self, target: &RemoteThread, corr: u64) {
         FenceStats::bump(&self.stats.serializations_requested);
-        trace_event!(SerializeRequest, target.key());
+        trace_event_corr!(SerializeRequest, target.key(), corr);
         let start = trace_span_start!();
         let rc = membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED);
         debug_assert_eq!(rc, 0, "membarrier failed after successful registration");
         FenceStats::bump(&self.stats.serializations_delivered);
-        trace_span_end!(SerializeDeliver, target.key(), start);
+        // The kernel IPI has no observable interior phases; the chain is
+        // the request bookended by the completed round trip.
+        trace_event_corr!(SerializeAckObserved, target.key(), corr);
+        trace_span_end_corr!(SerializeDeliver, target.key(), start, corr);
     }
 
     fn name(&self) -> &'static str {
@@ -243,7 +261,7 @@ impl FenceStrategy for NoFence {
         trace_event!(PrimaryFence);
     }
 
-    fn serialize_remote(&self, target: &RemoteThread) {
+    fn serialize_remote_corr(&self, target: &RemoteThread, _corr: u64) {
         FenceStats::bump(&self.stats.serializations_requested);
         trace_event!(SerializeRequest, target.key());
     }

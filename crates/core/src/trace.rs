@@ -27,6 +27,35 @@ macro_rules! trace_event {
     }};
 }
 
+/// Record an instant event carrying a causal correlation id:
+/// `trace_event_corr!(Kind, addr, corr)`.
+macro_rules! trace_event_corr {
+    ($kind:ident, $addr:expr, $corr:expr) => {{
+        #[cfg(feature = "trace")]
+        ::lbmf_trace::record_corr(::lbmf_trace::EventKind::$kind, $addr, 0u64, $corr);
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (&$addr, &$corr);
+        }
+    }};
+}
+
+/// Mint a correlation id for one causal serialization chain (0 when
+/// tracing is compiled out — chain events then carry no id and the
+/// reconstruction simply sees no chains).
+macro_rules! trace_mint_corr {
+    () => {{
+        #[cfg(feature = "trace")]
+        {
+            ::lbmf_trace::next_corr_id()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0u64
+        }
+    }};
+}
+
 /// Start a span: evaluates to the start timestamp (0 when tracing is
 /// compiled out). Pass the result to `trace_span_end!`.
 macro_rules! trace_span_start {
@@ -55,4 +84,19 @@ macro_rules! trace_span_end {
     }};
 }
 
-pub(crate) use {trace_event, trace_span_end, trace_span_start};
+/// `trace_span_end!` carrying a causal correlation id.
+macro_rules! trace_span_end_corr {
+    ($kind:ident, $addr:expr, $start:expr, $corr:expr) => {{
+        #[cfg(feature = "trace")]
+        ::lbmf_trace::record_span_corr(::lbmf_trace::EventKind::$kind, $addr, $start, $corr);
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (&$addr, &$start, &$corr);
+        }
+    }};
+}
+
+pub(crate) use {
+    trace_event, trace_event_corr, trace_mint_corr, trace_span_end, trace_span_end_corr,
+    trace_span_start,
+};

@@ -1,8 +1,10 @@
 //! The runtime half of the zero-fence tracing claim: with event
-//! recording *enabled and live*, the primary's instrumented fast path
-//! still performs no hooked hardware fence, no serialization, and no
-//! extra shared-memory operations — the `lbmf-check` hooks see exactly
-//! the protocol's own plain stores, compiler fence, and load.
+//! recording *enabled and live* — including the causal-span machinery, a
+//! real remote serialization having stamped this very slot's handler
+//! ring moments before — the primary's instrumented fast path still
+//! performs no hooked hardware fence, no serialization, and no extra
+//! shared-memory operations — the `lbmf-check` hooks see exactly the
+//! protocol's own plain stores, compiler fence, and load.
 //!
 //! (The compile-time half — `--no-default-features` removes the code
 //! entirely — is covered by the CI build step.)
@@ -13,7 +15,7 @@
 
 use lbmf::dekker::AsymmetricDekker;
 use lbmf::hooks::{install, Loc, VtHooks, YieldKind};
-use lbmf::strategy::SignalFence;
+use lbmf::strategy::{FenceStrategy, SignalFence};
 use std::sync::{Arc, Mutex};
 
 /// Records every hooked operation; models an empty store buffer by
@@ -61,6 +63,28 @@ fn traced_primary_fast_path_performs_no_fence_and_no_rmw() {
             // Warm the thread's trace ring (first record lazily allocates
             // and registers it) so the probed iteration is steady-state.
             primary.with_lock(|| {});
+            // A real serialize round trip first — before the hooks are
+            // watching — so the causal-span machinery (pending-corr
+            // handoff, the slot's dedicated handler ring, the handler's
+            // phase stamps) has all been exercised against this very
+            // slot. The fast path must stay pure even with the full span
+            // pipeline warm, not just on a never-serialized thread.
+            std::thread::Builder::new()
+                .name("fastpath-secondary".into())
+                .spawn({
+                    let dekker = dekker.clone();
+                    move || {
+                        let _g = dekker.secondary_lock();
+                    }
+                })
+                .unwrap()
+                .join()
+                .unwrap();
+            assert_eq!(
+                dekker.strategy().stats().snapshot().serializations_delivered,
+                1,
+                "warm-up serialization must have completed its round trip"
+            );
             rec2.events.lock().unwrap().clear();
             let _guard = install(rec2.clone());
             primary.with_lock(|| {});

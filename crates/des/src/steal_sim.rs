@@ -140,6 +140,10 @@ struct Worker {
 struct SimTrace {
     on: bool,
     events: Vec<Vec<FenceEvent>>,
+    /// Simulator-local correlation ids (monotone, deterministic — the
+    /// global `lbmf_trace::next_corr_id` would couple otherwise identical
+    /// simulated runs to process history).
+    next_corr: u64,
 }
 
 impl SimTrace {
@@ -147,6 +151,7 @@ impl SimTrace {
         SimTrace {
             on: false,
             events: Vec::new(),
+            next_corr: 0,
         }
     }
 
@@ -154,11 +159,29 @@ impl SimTrace {
         SimTrace {
             on: true,
             events: vec![Vec::new(); workers],
+            next_corr: 0,
+        }
+    }
+
+    /// Mint a causal chain id (0 when tracing is off, matching the real
+    /// runtime's compiled-out behavior).
+    #[inline]
+    fn mint_corr(&mut self) -> u64 {
+        if self.on {
+            self.next_corr += 1;
+            self.next_corr
+        } else {
+            0
         }
     }
 
     #[inline]
     fn emit(&mut self, w: usize, clock: u64, kind: EventKind, addr: usize, dur: u64) {
+        self.emit_corr(w, clock, kind, addr, dur, 0);
+    }
+
+    #[inline]
+    fn emit_corr(&mut self, w: usize, clock: u64, kind: EventKind, addr: usize, dur: u64, corr: u64) {
         if self.on {
             self.events[w].push(FenceEvent {
                 nanos: clock,
@@ -166,6 +189,7 @@ impl SimTrace {
                 kind,
                 guarded_addr: addr,
                 dur,
+                corr,
             });
         }
     }
@@ -400,14 +424,31 @@ fn try_steal(
         return;
     }
     // Engage the full protocol: lock, H++, own fence, remote serialization
-    // of the victim, read T.
-    trace.emit(w, workers[w].clock, EventKind::StealAttempt, v, 0);
+    // of the victim, read T. The whole attempt is one causal chain, same
+    // schema as the real deque: steal-attempt → serialize phases (thief
+    // and victim rows) → steal-success, linked by one correlation id in
+    // virtual time.
+    let corr = trace.mint_corr();
+    trace.emit_corr(w, workers[w].clock, EventKind::StealAttempt, v, 0, corr);
     trace.emit(w, workers[w].clock, EventKind::SecondaryFence, v, 0);
     let (req_cost, victim_cost) = cfg.costs.serialize(cfg.kind);
     if req_cost > 0 || victim_cost > 0 {
         res.serializations += 1;
-        trace.emit(w, workers[w].clock, EventKind::SerializeRequest, v, 0);
-        trace.emit(w, workers[w].clock, EventKind::SerializeDeliver, v, req_cost);
+        let sent = workers[w].clock;
+        trace.emit_corr(w, sent, EventKind::SerializeRequest, v, 0, corr);
+        trace.emit_corr(w, sent, EventKind::SerializeSignalSent, v, 0, corr);
+        // Victim-side handler phases, stamped on the victim's row. The
+        // min-clock scheduler only lets the thief act when its clock is
+        // the smallest, so `workers[v].clock >= sent`: the handler starts
+        // at the victim's current clock (delivery latency = how far the
+        // victim's clock is ahead) and the drain completes `victim_cost`
+        // cycles later. These stamps are trace-only — the clock
+        // arithmetic below is exactly what `simulate` (untraced) does.
+        let enter = workers[v].clock;
+        trace.emit_corr(v, enter, EventKind::SerializeHandlerEnter, w, 0, corr);
+        trace.emit_corr(v, enter + victim_cost, EventKind::SerializeDrained, w, 0, corr);
+        trace.emit_corr(w, sent, EventKind::SerializeDeliver, v, req_cost, corr);
+        trace.emit_corr(w, sent + req_cost, EventKind::SerializeAckObserved, v, 0, corr);
     }
     let mut cost = cfg.sched.probe + cfg.costs.lock + cfg.costs.mfence + req_cost;
     // The victim is interrupted (signal handler / IPI / SB flush).
@@ -427,7 +468,7 @@ fn try_steal(
         debug_assert_eq!(spawns[id].state, SpawnState::Queued);
         spawns[id].state = SpawnState::Stolen;
         res.steals += 1;
-        trace.emit(w, workers[w].clock, EventKind::StealSuccess, v, 0);
+        trace.emit_corr(w, workers[w].clock + cost, EventKind::StealSuccess, v, 0, corr);
         workers[w].conts.push(Cont::Complete { spawn: id });
         workers[w].conts.push(Cont::Steps {
             steps: spawns[id].task.expand(),
@@ -541,6 +582,53 @@ mod tests {
         }
         let json = lbmf_trace::chrome::export(&snap);
         lbmf_trace::chrome::validate_with_serialize_pair(&json).expect("valid chrome trace");
+    }
+
+    #[test]
+    fn simulated_chains_reconstruct_like_real_ones() {
+        use lbmf_trace::causal::{ChainSet, Completeness, Phase};
+        let cfg = StealSimConfig::new(4, SerializeKind::Signal);
+        let (res, snap) = simulate_traced(Task::Fib { n: 18 }, &cfg);
+        let set = ChainSet::from_snapshot(&snap);
+        assert!(!set.chains.is_empty());
+        // Every chain comes from a steal attempt and is flagged as such.
+        assert!(set.chains.iter().all(|c| c.is_steal()));
+        // Every serialization produced a complete request→ack chain
+        // (simulated rings never wrap, so no orphans are possible).
+        let with_serialize = set
+            .chains
+            .iter()
+            .filter(|c| c.round_trip_nanos().is_some())
+            .count() as u64;
+        assert_eq!(with_serialize, res.serializations);
+        let complete = set
+            .chains
+            .iter()
+            .filter(|c| c.completeness() == Completeness::Complete)
+            .count() as u64;
+        assert_eq!(complete, res.serializations);
+        assert_eq!(set.accounting().dropped_events, 0);
+        // Virtual-time phase attribution: the drain phase is exactly the
+        // configured victim interruption cost on every chain.
+        let (_, victim_cost) = cfg.costs.serialize(cfg.kind);
+        for c in &set.chains {
+            if c.completeness() == Completeness::Complete {
+                assert_eq!(c.phase_nanos(Phase::Drain), Some(victim_cost));
+                assert_eq!(c.phase_nanos(Phase::Queue), Some(0), "queueing is instant in sim");
+            }
+        }
+        // The chains cross rows: requester and target differ.
+        let cross = set
+            .chains
+            .iter()
+            .filter(|c| c.requester().is_some() && c.target().is_some())
+            .all(|c| c.requester() != c.target());
+        assert!(cross, "victim phases land on the victim's row");
+        // And the export carries matching flow events end to end.
+        let json = lbmf_trace::chrome::export(&snap);
+        lbmf_trace::chrome::validate(&json).expect("flow-paired chrome trace");
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"name\":\"steal-chain\""));
     }
 
     #[test]

@@ -46,8 +46,12 @@ pub enum Verdict {
     Improvement,
     /// Within noise.
     Unchanged,
-    /// Present in only one of the two reports.
-    Unmatched,
+    /// Only in the candidate: a benchmark this change introduced.
+    Added,
+    /// Only in the baseline: a benchmark this change lost — worth a
+    /// human look (a renamed bench reads as one removal plus one
+    /// addition).
+    Removed,
 }
 
 impl Verdict {
@@ -56,17 +60,27 @@ impl Verdict {
             Verdict::Regression => "REGRESSION",
             Verdict::Improvement => "improvement",
             Verdict::Unchanged => "ok",
-            Verdict::Unmatched => "unmatched",
+            Verdict::Added => "added",
+            Verdict::Removed => "removed",
         }
+    }
+
+    fn is_unpaired(self) -> bool {
+        matches!(self, Verdict::Added | Verdict::Removed)
     }
 }
 
 /// The full comparison of two reports.
 #[derive(Clone, Debug)]
 pub struct Comparison {
-    /// Per-benchmark deltas: matched pairs first (baseline order), then
-    /// unmatched names from either side.
+    /// Per-benchmark deltas: matched pairs and removals first (baseline
+    /// order), then additions (candidate order).
     pub deltas: Vec<Delta>,
+    /// Serialize-percentile observations for matched pairs that carry
+    /// them. Advisory only: the percentiles are log2-bucket-granular, so
+    /// a note is emitted only when p50 moved by more than one bucket
+    /// (beyond 2× in either direction).
+    pub serialize_notes: Vec<String>,
     /// Whether the two recordings came from different host shapes
     /// (worth a warning, not an error).
     pub host_mismatch: bool,
@@ -82,7 +96,7 @@ impl Comparison {
     pub fn render(&self) -> String {
         let mut t = Table::new(&["benchmark", "base ns", "cand ns", "delta", "threshold", "verdict"]);
         for d in &self.deltas {
-            if d.verdict == Verdict::Unmatched {
+            if d.verdict.is_unpaired() {
                 t.row(&[
                     d.name.clone(),
                     fmt_ns(d.base_ns),
@@ -103,6 +117,9 @@ impl Comparison {
             }
         }
         let mut out = t.render();
+        for note in &self.serialize_notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
         if self.host_mismatch {
             out.push_str("warning: recordings come from different host shapes; deltas are indicative only\n");
         }
@@ -132,6 +149,7 @@ fn fmt_ns(ns: f64) -> String {
 pub fn compare(base: &BenchReport, cand: &BenchReport) -> Comparison {
     let quick = base.quick || cand.quick;
     let mut deltas = Vec::new();
+    let mut serialize_notes = Vec::new();
     for b in &base.benchmarks {
         let name = &b.result.name;
         let Some(c) = cand.entry(name) else {
@@ -141,10 +159,25 @@ pub fn compare(base: &BenchReport, cand: &BenchReport) -> Comparison {
                 cand_ns: 0.0,
                 rel: 0.0,
                 threshold: 0.0,
-                verdict: Verdict::Unmatched,
+                verdict: Verdict::Removed,
             });
             continue;
         };
+        if let (Some(sb), Some(sc)) = (&b.serialize, &c.serialize) {
+            // Log2-bucket percentiles: a move within one bucket (2×) is
+            // granularity, not signal — this also absorbs the v1
+            // upper-bound → v2 midpoint re-basing, which shifts every
+            // value by strictly less than one bucket.
+            // The +1 slack: adjacent midpoints (3071 → 6143) and
+            // adjacent upper bounds (4095 → 8191) are both 2n+1.
+            let beyond = |a: u64, b: u64| a > b.saturating_mul(2).saturating_add(1);
+            if beyond(sc.p50, sb.p50) || beyond(sb.p50, sc.p50) {
+                serialize_notes.push(format!(
+                    "{name}: serialize p50 {} → {} ns (beyond one log2 bucket; advisory)",
+                    sb.p50, sc.p50
+                ));
+            }
+        }
         let rel = (c.result.mean_ns - b.result.mean_ns) / b.result.mean_ns;
         let mut threshold = (SIGMA * b.result.cv.max(c.result.cv)).max(FLOOR);
         if quick {
@@ -174,12 +207,13 @@ pub fn compare(base: &BenchReport, cand: &BenchReport) -> Comparison {
                 cand_ns: c.result.mean_ns,
                 rel: 0.0,
                 threshold: 0.0,
-                verdict: Verdict::Unmatched,
+                verdict: Verdict::Added,
             });
         }
     }
     Comparison {
         deltas,
+        serialize_notes,
         host_mismatch: base.host != cand.host,
     }
 }
@@ -243,16 +277,54 @@ mod tests {
     }
 
     #[test]
-    fn improvements_and_unmatched_are_classified() {
+    fn improvements_added_and_removed_are_classified() {
         let base = report(&[("gone", 50.0, 0.0), ("fast", 100.0, 0.0)], false);
         let cand = report(&[("fast", 80.0, 0.0), ("new", 5.0, 0.0)], false);
         let cmp = compare(&base, &cand);
         let by_name = |n: &str| cmp.deltas.iter().find(|d| d.name == n).unwrap().verdict;
-        assert_eq!(by_name("gone"), Verdict::Unmatched);
+        assert_eq!(by_name("gone"), Verdict::Removed, "baseline-only");
         assert_eq!(by_name("fast"), Verdict::Improvement);
-        assert_eq!(by_name("new"), Verdict::Unmatched);
+        assert_eq!(by_name("new"), Verdict::Added, "candidate-only");
         assert_eq!(cmp.regressions().count(), 0);
-        assert!(cmp.render().contains("no confirmed regressions"));
+        let text = cmp.render();
+        assert!(text.contains("removed"), "{text}");
+        assert!(text.contains("added"), "{text}");
+        assert!(text.contains("no confirmed regressions"));
+
+        // And the same names swap classification when the comparison
+        // direction flips.
+        let flipped = compare(&cand, &base);
+        let by_name = |n: &str| flipped.deltas.iter().find(|d| d.name == n).unwrap().verdict;
+        assert_eq!(by_name("gone"), Verdict::Added);
+        assert_eq!(by_name("new"), Verdict::Removed);
+        assert_eq!(by_name("fast"), Verdict::Regression, "80 → 100 ns");
+    }
+
+    #[test]
+    fn serialize_moves_within_one_bucket_are_tolerated() {
+        use crate::schema::SerializeLatency;
+        let with_p50 = |mut r: BenchReport, p50: u64| {
+            r.benchmarks[0].serialize = Some(SerializeLatency { p50, p99: p50 * 8, count: 100 });
+            r
+        };
+        let base = with_p50(report(&[("serialize/signal_roundtrip", 100.0, 0.0)], false), 3071);
+        // Upper bound 4095 vs midpoint 3071 of the same bucket (the v1 →
+        // v2 re-basing), and a genuine one-bucket move: both silent.
+        for quiet in [4095u64, 6143] {
+            let cand = with_p50(report(&[("serialize/signal_roundtrip", 100.0, 0.0)], false), quiet);
+            let cmp = compare(&base, &cand);
+            assert!(cmp.serialize_notes.is_empty(), "p50 {quiet} should be within tolerance");
+        }
+        // More than one bucket away: noted (both directions), advisory.
+        for (b, c) in [(3071u64, 12287u64), (12287, 3071)] {
+            let cmp = compare(
+                &with_p50(report(&[("serialize/signal_roundtrip", 100.0, 0.0)], false), b),
+                &with_p50(report(&[("serialize/signal_roundtrip", 100.0, 0.0)], false), c),
+            );
+            assert_eq!(cmp.serialize_notes.len(), 1, "{b} → {c}");
+            assert!(cmp.render().contains("beyond one log2 bucket"));
+            assert_eq!(cmp.regressions().count(), 0, "notes never gate");
+        }
     }
 
     #[test]

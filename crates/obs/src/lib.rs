@@ -13,6 +13,11 @@
 //! * **`compare`** ([`compare`]) loads two recordings and reports
 //!   noise-aware deltas — each benchmark's regression threshold scales
 //!   with its own measured CV — with a `--gate` mode for CI.
+//! * **`explain`** ([`explain`]) reads an exported Chrome trace back in,
+//!   reconstructs the causal serialization chains from their correlation
+//!   ids, and prints per-phase latency attribution (queue → delivery →
+//!   drain → ack) with orphan/lossiness accounting — the offline half of
+//!   the cross-thread flight recorder.
 //! * **`serve`** ([`http`], [`metrics`]) exposes `/metrics` (Prometheus
 //!   exposition format: the live trace-ring export plus fence counters)
 //!   and `/healthz` from a std-only HTTP server, so a long-running
@@ -26,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod explain;
 pub mod http;
 pub mod json;
 pub mod metrics;

@@ -4,7 +4,7 @@
 
 use lbmf_bench::Args;
 use lbmf_obs::schema::{bench_files, next_index, BenchReport};
-use lbmf_obs::{compare, http, metrics, suite};
+use lbmf_obs::{compare, explain, http, metrics, suite};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -17,6 +17,7 @@ USAGE:
     lbmf-obs record  [--quick] [--dir DIR] [--out PATH] [--ingest PATH]
     lbmf-obs compare [--dir DIR] [--baseline PATH] [--candidate PATH] [--gate] [--advisory]
     lbmf-obs compare --self-check [PATH] [--dir DIR]
+    lbmf-obs explain TRACE.json [TRACE.json ...] [--require-complete N] [--max-sum-deviation PCT]
     lbmf-obs serve   [--addr HOST:PORT] [--workers N] [--duration-secs N]
 
 record:   run the benchmark suite, write BENCH_<n>.json (next free n, floor 3).
@@ -28,6 +29,13 @@ compare:  newest recording vs the one before it (or explicit paths).
           quick recordings. --gate exits 2 on confirmed regressions;
           --advisory downgrades the gate to a warning (1-core CI hosts).
           --self-check validates a recording parses against the schema.
+explain:  validate an exported Chrome trace, reconstruct the causal
+          serialization chains from their correlation ids, and print
+          per-phase latency attribution (queue/delivery/drain/ack) with
+          orphan accounting, one section per trace. --require-complete N
+          exits 2 unless at least N fully-phased chains were found across
+          all traces; --max-sum-deviation PCT exits 2 when the phase-p50
+          sum strays further than PCT% from the measured round-trip p50.
 serve:    run a steal-heavy ACilk-5 workload and serve /metrics + /healthz
           until --duration-secs elapses (0 = forever, default).
 ";
@@ -40,6 +48,7 @@ fn main() -> ExitCode {
     match sub {
         Some("record") => cmd_record(&args),
         Some("compare") => cmd_compare(&args),
+        Some("explain") => cmd_explain(&rest),
         Some("serve") => cmd_serve(&args),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
@@ -187,6 +196,78 @@ fn cmd_compare(args: &Args) -> ExitCode {
             eprintln!("gate: {regressions} confirmed regression(s)");
             return ExitCode::from(2);
         }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_explain(rest: &[&str]) -> ExitCode {
+    // Positional paths plus two value flags; Args has no positional
+    // accessor, so split by hand.
+    let args = Args::from(rest);
+    let require_complete: usize = args.get("--require-complete", 0);
+    let max_sum_deviation: Option<f64> = args.value("--max-sum-deviation").and_then(|v| v.parse().ok());
+    if args.value("--max-sum-deviation").is_some() && max_sum_deviation.is_none() {
+        return fail("--max-sum-deviation needs a numeric percentage");
+    }
+    let mut paths = Vec::new();
+    let mut skip_next = false;
+    for a in rest {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if *a == "--require-complete" || *a == "--max-sum-deviation" {
+            skip_next = true;
+        } else if a.starts_with("--") {
+            return fail(&format!("unknown flag {a:?}\n\n{USAGE}"));
+        } else {
+            paths.push(PathBuf::from(a));
+        }
+    }
+    if paths.is_empty() {
+        return fail(&format!("explain needs at least one trace path\n\n{USAGE}"));
+    }
+
+    let mut total_complete = 0usize;
+    let mut gate_failures = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("{}: {e}", path.display())),
+        };
+        // Structural validation first (including flow-event pairing) —
+        // explain must never attribute latency from a malformed trace.
+        if let Err(e) = lbmf_trace::chrome::validate(&text) {
+            return fail(&format!("{}: invalid trace: {e}", path.display()));
+        }
+        let parsed = match explain::parse_trace(&text) {
+            Ok(p) => p,
+            Err(e) => return fail(&format!("{}: {e}", path.display())),
+        };
+        let ex = explain::explain(&parsed);
+        println!("=== {} ===", path.display());
+        print!("{}", ex.text);
+        total_complete += ex.complete_chains;
+        if let (Some(max_pct), Some(dev)) = (max_sum_deviation, ex.phase_sum_deviation) {
+            if dev.abs() * 100.0 > max_pct {
+                gate_failures.push(format!(
+                    "{}: phase-p50 sum deviates {:+.1}% from round-trip p50 (limit ±{max_pct}%)",
+                    path.display(),
+                    dev * 100.0
+                ));
+            }
+        }
+    }
+    if require_complete > 0 && total_complete < require_complete {
+        gate_failures.push(format!(
+            "found {total_complete} complete chain(s), --require-complete {require_complete}"
+        ));
+    }
+    if !gate_failures.is_empty() {
+        for f in &gate_failures {
+            eprintln!("explain gate: {f}");
+        }
+        return ExitCode::from(2);
     }
     ExitCode::SUCCESS
 }

@@ -2,14 +2,14 @@
 //!
 //! One file per recording session, written at the repository root and
 //! committed, so a regression is a diff you can `git log`. The schema is
-//! versioned (`"schema": "lbmf-bench/1"`); `compare` refuses files whose
-//! major version it does not understand rather than guessing.
+//! versioned (`"schema": "lbmf-bench/2"`); `compare` refuses files whose
+//! version it does not understand rather than guessing.
 //!
-//! Schema v1, informally:
+//! Schema v2, informally:
 //!
 //! ```json
 //! {
-//!   "schema": "lbmf-bench/1",
+//!   "schema": "lbmf-bench/2",
 //!   "recorded_unix": 1754500000,
 //!   "quick": true,
 //!   "host": {"os": "linux", "arch": "x86_64", "cpus": 1},
@@ -20,7 +20,7 @@
 //!       "iters": 524288, "samples": 5,
 //!       "min_ns": 7.1, "mean_ns": 7.4, "max_ns": 8.0, "cv": 0.04,
 //!       "fence_stats": {"primary_full_fences": 0, ...},
-//!       "serialize": {"p50": 1023, "p99": 65535, "count": 412}
+//!       "serialize": {"p50": 767, "p99": 49151, "count": 412}
 //!     }
 //!   ]
 //! }
@@ -29,14 +29,27 @@
 //! `strategy`, `fence_stats` and `serialize` are optional — raw-cost
 //! benchmarks (`fence/full_fence`) have no strategy, and only workloads
 //! that drove remote serializations carry percentiles.
+//!
+//! **v1 → v2**: `serialize.p50`/`p99` changed meaning. v1 recorded the
+//! raw log2-bucket *upper bound* (always `2^k − 1`: 4095, 8191, ...); v2
+//! records the bucket *midpoint*, a central estimate of the same bucket
+//! ([`lbmf_trace::Log2Histogram::percentile_midpoint`]). Both are
+//! granular to one power of two, so [`parse`](BenchReport::parse) still
+//! accepts v1 files and `compare` treats serialize moves within one
+//! bucket (2×) as granularity, not signal.
 
 use crate::json::{obj, parse, Json};
 use lbmf::stats::FenceStatsSnapshot;
 use lbmf_bench::criterion::BenchResult;
 use std::path::{Path, PathBuf};
 
-/// Current schema identifier. Bump the `/1` on breaking changes.
-pub const SCHEMA: &str = "lbmf-bench/1";
+/// Current schema identifier. Bump the `/2` on breaking changes.
+pub const SCHEMA: &str = "lbmf-bench/2";
+
+/// Prior schema version, still accepted on read: identical shape, but
+/// `serialize` percentiles are bucket upper bounds instead of midpoints
+/// (a within-one-bucket difference `compare` already tolerates).
+pub const SCHEMA_V1: &str = "lbmf-bench/1";
 
 /// Where the recording host ran; compared files from different hosts get
 /// a loud warning instead of a silent apples-to-oranges delta.
@@ -64,12 +77,14 @@ impl HostMeta {
 }
 
 /// Serialize round-trip percentiles drained from the trace rings during
-/// one benchmark (log2-bucket upper bounds, so accurate to within 2×).
+/// one benchmark. v2 values are log2-bucket midpoints (central
+/// estimates, granular to within 2×); values read from a v1 file are the
+/// corresponding bucket upper bounds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SerializeLatency {
-    /// p50 upper bound, ns.
+    /// p50 bucket-midpoint estimate, ns.
     pub p50: u64,
-    /// p99 upper bound, ns.
+    /// p99 bucket-midpoint estimate, ns.
     pub p99: u64,
     /// Round trips observed.
     pub count: u64,
@@ -265,9 +280,9 @@ impl BenchReport {
             .get("schema")
             .and_then(Json::as_str)
             .ok_or("missing \"schema\"")?;
-        if schema != SCHEMA {
+        if schema != SCHEMA && schema != SCHEMA_V1 {
             return Err(format!(
-                "unsupported schema {schema:?} (this build understands {SCHEMA:?})"
+                "unsupported schema {schema:?} (this build understands {SCHEMA:?} and {SCHEMA_V1:?})"
             ));
         }
         let recorded_unix = v
@@ -434,7 +449,7 @@ mod tests {
     fn parse_rejects_broken_reports() {
         let good = sample_report().render();
         for (needle, replacement, why) in [
-            ("lbmf-bench/1", "lbmf-bench/9", "unknown schema"),
+            ("lbmf-bench/2", "lbmf-bench/9", "unknown schema"),
             ("\"samples\":5", "\"samples\":0", "zero samples"),
             ("\"min_ns\":7.125", "\"min_ns\":9.5", "min above mean"),
             ("\"recorded_unix\": 1754500000,", "", "missing recorded_unix"),
@@ -444,6 +459,15 @@ mod tests {
             assert!(BenchReport::parse(&bad).is_err(), "{why}");
         }
         assert!(BenchReport::parse("{}").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_v1_recordings() {
+        // Committed BENCH_3/BENCH_4 predate the midpoint change; compare
+        // must keep reading them.
+        let v1 = sample_report().render().replacen("lbmf-bench/2", "lbmf-bench/1", 1);
+        let back = BenchReport::parse(&v1).expect("v1 accepted");
+        assert_eq!(back.entry("dekker_entry/signal").unwrap().serialize.unwrap().p50, 1023);
     }
 
     #[test]

@@ -107,13 +107,15 @@ impl Drop for Target {
 }
 
 /// Serialize round-trip percentiles currently visible in the trace
-/// rings (log2-bucket upper bounds). `None` when no round trip was
-/// traced — including builds with the `trace` feature off.
+/// rings, as log2-bucket midpoints (the `lbmf-bench/2` semantics — v1
+/// recorded the bucket upper bound, which read as an implausibly tidy
+/// `2^k − 1`). `None` when no round trip was traced — including builds
+/// with the `trace` feature off.
 pub fn serialize_latency_now() -> Option<SerializeLatency> {
     let h = lbmf_trace::take_snapshot().latency_histogram(EventKind::SerializeDeliver);
     (h.count() > 0).then(|| SerializeLatency {
-        p50: h.percentile(50),
-        p99: h.percentile(99),
+        p50: h.percentile_midpoint(50),
+        p99: h.percentile_midpoint(99),
         count: h.count(),
     })
 }

@@ -1,0 +1,498 @@
+//! Causal-chain reconstruction: group phase-stamped events by their
+//! correlation id and attribute the latency of one remote serialization
+//! (or one steal) phase by phase.
+//!
+//! The protocol's causal shape, for a signal-strategy serialization:
+//!
+//! ```text
+//! requester ring:  serialize-request ── serialize-signal-sent ───────── serialize-ack-observed
+//!                                                  │                          ▲
+//! target handler ring:              serialize-handler-enter ── serialize-drained
+//! ```
+//!
+//! All five events carry the same nonzero [`FenceEvent::corr`] id, minted
+//! once by the requester ([`crate::next_corr_id`]). Steal chains prepend a
+//! `steal-attempt` and may end with `steal-success`.
+//!
+//! Rings are lossy by design, so chains can be *partial*: any phase may be
+//! overwritten by ring wrap, and the target-side phases are last-writer-wins
+//! when two requesters serialize the same target concurrently (the slot's
+//! pending-corr word is a plain handoff, mirroring the protocol's own
+//! "accept a concurrent ack" semantics). [`ChainSet::accounting`] reports
+//! how many chains are complete versus orphaned, and how many events were
+//! dropped — so an attribution report can state its own coverage.
+
+use crate::{EventKind, FenceEvent, TraceSnapshot};
+use std::collections::BTreeMap;
+
+/// The phases of one serialization round trip, in causal order. Each is
+/// the interval between two adjacent chain events.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// `serialize-request` → `serialize-signal-sent`: queueing the signal
+    /// (the `pthread_sigqueue` syscall).
+    Queue,
+    /// `serialize-signal-sent` → `serialize-handler-enter`: kernel signal
+    /// delivery plus the target reaching the handler.
+    Delivery,
+    /// `serialize-handler-enter` → `serialize-drained`: the handler's
+    /// serializing fence retiring (the store buffer drain the paper's
+    /// primary never pays for itself).
+    Drain,
+    /// `serialize-drained` → `serialize-ack-observed`: the requester's
+    /// ack spin noticing the bumped counter (includes cache-line
+    /// round trip back).
+    Ack,
+}
+
+impl Phase {
+    /// Every phase, in causal order.
+    pub const ALL: [Phase; 4] = [Phase::Queue, Phase::Delivery, Phase::Drain, Phase::Ack];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Queue => "queue",
+            Phase::Delivery => "delivery",
+            Phase::Drain => "drain",
+            Phase::Ack => "ack",
+        }
+    }
+
+    /// The (from, to) event kinds whose timestamps bound this phase.
+    pub fn bounds(self) -> (EventKind, EventKind) {
+        match self {
+            Phase::Queue => (EventKind::SerializeRequest, EventKind::SerializeSignalSent),
+            Phase::Delivery => {
+                (EventKind::SerializeSignalSent, EventKind::SerializeHandlerEnter)
+            }
+            Phase::Drain => (EventKind::SerializeHandlerEnter, EventKind::SerializeDrained),
+            Phase::Ack => (EventKind::SerializeDrained, EventKind::SerializeAckObserved),
+        }
+    }
+}
+
+/// All events sharing one correlation id, sorted by timestamp (ties broken
+/// by causal kind order so zero-length phases still line up).
+#[derive(Clone, Debug, Default)]
+pub struct Chain {
+    /// The shared nonzero correlation id.
+    pub corr: u64,
+    /// The chain's events across every thread, in causal order.
+    pub events: Vec<FenceEvent>,
+}
+
+/// How causally complete a [`Chain`] is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every serialize phase present: request → signal-sent →
+    /// handler-enter → drained → ack-observed.
+    Complete,
+    /// The requester bookends are present (request and ack-observed) but
+    /// one or more interior phases were lost — target-side ring wrap or a
+    /// concurrent requester overwriting the slot's pending corr.
+    MissingInterior,
+    /// One or both requester bookends are missing (requester ring wrap,
+    /// or the snapshot was drained mid-flight).
+    Orphan,
+    /// No serialize-phase event at all: a steal probe that never reached
+    /// the serialization protocol (empty deque, lost race). Not
+    /// lossiness — the chain was born this small.
+    AttemptOnly,
+}
+
+impl Chain {
+    fn find(&self, kind: EventKind) -> Option<&FenceEvent> {
+        self.events.iter().find(|e| e.kind == kind)
+    }
+
+    /// Causal completeness of this chain as a serialization span.
+    pub fn completeness(&self) -> Completeness {
+        if !self.events.iter().any(|e| is_serialize_phase(e.kind)) {
+            return Completeness::AttemptOnly;
+        }
+        let request = self.find(EventKind::SerializeRequest).is_some();
+        let ack = self.find(EventKind::SerializeAckObserved).is_some();
+        if !(request && ack) {
+            return Completeness::Orphan;
+        }
+        let interior = [
+            EventKind::SerializeSignalSent,
+            EventKind::SerializeHandlerEnter,
+            EventKind::SerializeDrained,
+        ]
+        .iter()
+        .all(|&k| self.find(k).is_some());
+        if interior {
+            Completeness::Complete
+        } else {
+            Completeness::MissingInterior
+        }
+    }
+
+    /// The duration of `phase`, when both bounding events survived.
+    /// `saturating_sub` tolerates cross-ring clock reads racing within a
+    /// nanosecond.
+    pub fn phase_nanos(&self, phase: Phase) -> Option<u64> {
+        let (from, to) = phase.bounds();
+        Some(self.find(to)?.nanos.saturating_sub(self.find(from)?.nanos))
+    }
+
+    /// Requester-measured round trip: request → ack-observed. This is the
+    /// ground truth the per-phase attribution must sum to (phases are
+    /// nested timestamps of the same interval, so for a
+    /// [`Completeness::Complete`] chain the sum is exact up to the
+    /// per-phase `saturating_sub` clamps).
+    pub fn round_trip_nanos(&self) -> Option<u64> {
+        let req = self.find(EventKind::SerializeRequest)?;
+        let ack = self.find(EventKind::SerializeAckObserved)?;
+        Some(ack.nanos.saturating_sub(req.nanos))
+    }
+
+    /// Whether this chain started from a work-stealing attempt.
+    pub fn is_steal(&self) -> bool {
+        self.find(EventKind::StealAttempt).is_some()
+    }
+
+    /// The requester's thread id (from the request event), if it survived.
+    pub fn requester(&self) -> Option<u32> {
+        self.find(EventKind::SerializeRequest).map(|e| e.thread)
+    }
+
+    /// The target-side thread id (from a handler event), if it survived.
+    pub fn target(&self) -> Option<u32> {
+        self.find(EventKind::SerializeHandlerEnter)
+            .or_else(|| self.find(EventKind::SerializeDrained))
+            .map(|e| e.thread)
+    }
+}
+
+/// Per-snapshot chain accounting — the denominator a report needs to say
+/// "N of M serializations fully attributed, K orphaned, D events lost to
+/// ring wrap".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Accounting {
+    /// Chains with every serialize phase present.
+    pub complete: usize,
+    /// Chains with both requester bookends but lost interior phases.
+    pub missing_interior: usize,
+    /// Chains missing a requester bookend.
+    pub orphans: usize,
+    /// Chains with no serialize phase at all — steal probes that never
+    /// reached the protocol (empty deque, lost race). Kept separate from
+    /// `orphans` so orphan counts measure lossiness, not probe traffic.
+    pub attempt_only: usize,
+    /// Events overwritten by ring wrap across the snapshot (upper bound
+    /// on how many chain phases were lost).
+    pub dropped_events: u64,
+}
+
+/// Every chain reconstructed from one snapshot, keyed by correlation id.
+#[derive(Clone, Debug, Default)]
+pub struct ChainSet {
+    /// Chains in ascending corr order (mint order).
+    pub chains: Vec<Chain>,
+    /// Events dropped by ring wrap in the source snapshot.
+    pub dropped_events: u64,
+}
+
+impl ChainSet {
+    /// Group every `corr != 0` event in `snap` into chains. Events with
+    /// `corr == 0` (plain uncorrelated instrumentation) are ignored.
+    pub fn from_snapshot(snap: &TraceSnapshot) -> ChainSet {
+        let mut by_corr: BTreeMap<u64, Vec<FenceEvent>> = BTreeMap::new();
+        for t in &snap.threads {
+            for e in &t.events {
+                if e.corr != 0 {
+                    by_corr.entry(e.corr).or_default().push(*e);
+                }
+            }
+        }
+        let chains = by_corr
+            .into_iter()
+            .map(|(corr, mut events)| {
+                events.sort_by_key(|e| (e.nanos, causal_rank(e.kind)));
+                Chain { corr, events }
+            })
+            .collect();
+        ChainSet {
+            chains,
+            dropped_events: snap.total_dropped(),
+        }
+    }
+
+    /// Classify every chain.
+    pub fn accounting(&self) -> Accounting {
+        let mut acc = Accounting {
+            dropped_events: self.dropped_events,
+            ..Accounting::default()
+        };
+        for c in &self.chains {
+            match c.completeness() {
+                Completeness::Complete => acc.complete += 1,
+                Completeness::MissingInterior => acc.missing_interior += 1,
+                Completeness::Orphan => acc.orphans += 1,
+                Completeness::AttemptOnly => acc.attempt_only += 1,
+            }
+        }
+        acc
+    }
+
+    /// Exact percentile of `phase` durations across all chains that
+    /// carry the phase (sorted-vector percentile — not log2 buckets — so
+    /// phase p50s sum meaningfully against the measured round trip).
+    /// `q` in [0, 1]. `None` when no chain carries the phase.
+    pub fn phase_percentile(&self, phase: Phase, q: f64) -> Option<u64> {
+        let mut durs: Vec<u64> = self.chains.iter().filter_map(|c| c.phase_nanos(phase)).collect();
+        percentile_exact(&mut durs, q)
+    }
+
+    /// Exact percentile of complete-chain round trips. `None` when no
+    /// chain has both bookends.
+    pub fn round_trip_percentile(&self, q: f64) -> Option<u64> {
+        let mut durs: Vec<u64> =
+            self.chains.iter().filter_map(|c| c.round_trip_nanos()).collect();
+        percentile_exact(&mut durs, q)
+    }
+
+    /// Mean of complete-chain round trips, in nanoseconds.
+    pub fn round_trip_mean(&self) -> Option<f64> {
+        let durs: Vec<u64> = self.chains.iter().filter_map(|c| c.round_trip_nanos()).collect();
+        if durs.is_empty() {
+            return None;
+        }
+        Some(durs.iter().sum::<u64>() as f64 / durs.len() as f64)
+    }
+}
+
+/// Nearest-rank percentile over an unsorted scratch vector (sorts in
+/// place). `q` in [0, 1].
+fn percentile_exact(durs: &mut [u64], q: f64) -> Option<u64> {
+    if durs.is_empty() {
+        return None;
+    }
+    durs.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * durs.len() as f64).ceil() as usize).max(1) - 1;
+    Some(durs[rank.min(durs.len() - 1)])
+}
+
+/// True for the event kinds that belong to the serialization protocol
+/// itself (as opposed to steal bookkeeping sharing the corr id). A chain
+/// with none of these never entered the protocol.
+fn is_serialize_phase(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::SerializeRequest
+            | EventKind::SerializeSignalSent
+            | EventKind::SerializeHandlerEnter
+            | EventKind::SerializeDrained
+            | EventKind::SerializeAckObserved
+            | EventKind::SerializeDeliver
+    )
+}
+
+/// Tie-break ordering for events stamped in the same nanosecond: causal
+/// protocol order, so a zero-length phase still sorts request-before-ack.
+fn causal_rank(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::StealAttempt => 0,
+        EventKind::SecondaryFence => 1,
+        EventKind::SerializeRequest => 2,
+        EventKind::SerializeSignalSent => 3,
+        EventKind::SerializeHandlerEnter => 4,
+        EventKind::SerializeDrained => 5,
+        EventKind::SerializeAckObserved => 6,
+        EventKind::SerializeDeliver => 7,
+        EventKind::StealSuccess => 8,
+        _ => 9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadTrace;
+
+    fn ev(thread: u32, nanos: u64, kind: EventKind, corr: u64) -> FenceEvent {
+        FenceEvent { nanos, thread, kind, guarded_addr: 0x40, dur: 0, corr }
+    }
+
+    fn snapshot(threads: Vec<Vec<FenceEvent>>, dropped: u64) -> TraceSnapshot {
+        TraceSnapshot {
+            threads: threads
+                .into_iter()
+                .enumerate()
+                .map(|(i, events)| ThreadTrace {
+                    tid: i as u32,
+                    name: format!("t{i}"),
+                    events,
+                    dropped: if i == 0 { dropped } else { 0 },
+                })
+                .collect(),
+        }
+    }
+
+    fn complete_chain(corr: u64, base: u64) -> (Vec<FenceEvent>, Vec<FenceEvent>) {
+        // Requester on thread 0, handler phases on thread 1.
+        // Phases: queue 100, delivery 300, drain 200, ack 400 → rt 1000.
+        (
+            vec![
+                ev(0, base, EventKind::SerializeRequest, corr),
+                ev(0, base + 100, EventKind::SerializeSignalSent, corr),
+                ev(0, base + 1000, EventKind::SerializeAckObserved, corr),
+            ],
+            vec![
+                ev(1, base + 400, EventKind::SerializeHandlerEnter, corr),
+                ev(1, base + 600, EventKind::SerializeDrained, corr),
+            ],
+        )
+    }
+
+    #[test]
+    fn reconstructs_one_complete_chain() {
+        let (req, tgt) = complete_chain(9, 1_000);
+        let set = ChainSet::from_snapshot(&snapshot(vec![req, tgt], 0));
+        assert_eq!(set.chains.len(), 1);
+        let c = &set.chains[0];
+        assert_eq!(c.corr, 9);
+        assert_eq!(c.completeness(), Completeness::Complete);
+        assert_eq!(c.round_trip_nanos(), Some(1000));
+        assert_eq!(c.phase_nanos(Phase::Queue), Some(100));
+        assert_eq!(c.phase_nanos(Phase::Delivery), Some(300));
+        assert_eq!(c.phase_nanos(Phase::Drain), Some(200));
+        assert_eq!(c.phase_nanos(Phase::Ack), Some(400));
+        // Phases partition the round trip exactly.
+        let sum: u64 = Phase::ALL.iter().filter_map(|&p| c.phase_nanos(p)).sum();
+        assert_eq!(sum, c.round_trip_nanos().unwrap());
+        assert_eq!(c.requester(), Some(0));
+        assert_eq!(c.target(), Some(1));
+        assert!(!c.is_steal());
+        // Events arrive sorted causally even across rings.
+        let kinds: Vec<EventKind> = c.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::SerializeRequest,
+                EventKind::SerializeSignalSent,
+                EventKind::SerializeHandlerEnter,
+                EventKind::SerializeDrained,
+                EventKind::SerializeAckObserved,
+            ]
+        );
+    }
+
+    #[test]
+    fn classifies_partial_chains_and_ignores_corr_zero() {
+        let (mut req, tgt) = complete_chain(1, 0);
+        // corr 2: lost its handler events (missing interior).
+        req.push(ev(0, 5_000, EventKind::SerializeRequest, 2));
+        req.push(ev(0, 5_900, EventKind::SerializeAckObserved, 2));
+        // corr 3: requester ring wrapped away the request (orphan).
+        let tgt2 = vec![
+            ev(1, 7_000, EventKind::SerializeHandlerEnter, 3),
+            ev(1, 7_100, EventKind::SerializeDrained, 3),
+        ];
+        // corr 0 noise must not form a chain.
+        req.push(ev(0, 8_000, EventKind::PrimaryFence, 0));
+        let set =
+            ChainSet::from_snapshot(&snapshot(vec![req, [tgt, tgt2].concat()], 4));
+        assert_eq!(set.chains.len(), 3);
+        let acc = set.accounting();
+        assert_eq!(
+            acc,
+            Accounting {
+                complete: 1,
+                missing_interior: 1,
+                orphans: 1,
+                attempt_only: 0,
+                dropped_events: 4
+            }
+        );
+        // Partial chains still give what they can.
+        let c2 = set.chains.iter().find(|c| c.corr == 2).unwrap();
+        assert_eq!(c2.round_trip_nanos(), Some(900));
+        assert_eq!(c2.phase_nanos(Phase::Delivery), None);
+        let c3 = set.chains.iter().find(|c| c.corr == 3).unwrap();
+        assert_eq!(c3.round_trip_nanos(), None);
+        assert_eq!(c3.phase_nanos(Phase::Drain), Some(100));
+    }
+
+    #[test]
+    fn percentiles_are_exact_not_bucketed() {
+        let mut threads = (Vec::new(), Vec::new());
+        // Three complete chains with round trips 1000, 1000, 1000 but at
+        // staggered bases; p50 must be the exact value, not a log2 bound.
+        for (i, base) in [0u64, 10_000, 20_000].iter().enumerate() {
+            let (r, t) = complete_chain(i as u64 + 1, *base);
+            threads.0.extend(r);
+            threads.1.extend(t);
+        }
+        let set = ChainSet::from_snapshot(&snapshot(vec![threads.0, threads.1], 0));
+        assert_eq!(set.round_trip_percentile(0.5), Some(1000));
+        assert_eq!(set.round_trip_percentile(0.99), Some(1000));
+        assert_eq!(set.round_trip_mean(), Some(1000.0));
+        assert_eq!(set.phase_percentile(Phase::Queue, 0.5), Some(100));
+        // The p50 phase sum equals the p50 round trip for identical chains.
+        let sum: u64 =
+            Phase::ALL.iter().filter_map(|&p| set.phase_percentile(p, 0.5)).sum();
+        assert_eq!(sum, 1000);
+        // Empty set yields None everywhere.
+        let empty = ChainSet::default();
+        assert_eq!(empty.round_trip_percentile(0.5), None);
+        assert_eq!(empty.phase_percentile(Phase::Ack, 0.5), None);
+        assert_eq!(empty.round_trip_mean(), None);
+    }
+
+    #[test]
+    fn steal_chains_are_flagged() {
+        let (mut req, tgt) = complete_chain(5, 100);
+        req.insert(0, ev(0, 50, EventKind::StealAttempt, 5));
+        req.push(ev(0, 1_500, EventKind::StealSuccess, 5));
+        let set = ChainSet::from_snapshot(&snapshot(vec![req, tgt], 0));
+        let c = &set.chains[0];
+        assert!(c.is_steal());
+        assert_eq!(c.completeness(), Completeness::Complete);
+        assert_eq!(c.events.first().unwrap().kind, EventKind::StealAttempt);
+        assert_eq!(c.events.last().unwrap().kind, EventKind::StealSuccess);
+    }
+
+    #[test]
+    fn failed_steal_probes_are_attempt_only_not_orphans() {
+        // corr 6: a steal attempt that found an empty deque — the corr id
+        // was minted but no serialize phase ever ran. corr 7: a genuine
+        // orphan (handler phases survived, requester bookends wrapped).
+        let probe = vec![ev(0, 50, EventKind::StealAttempt, 6)];
+        let wrapped = vec![
+            ev(1, 200, EventKind::SerializeHandlerEnter, 7),
+            ev(1, 300, EventKind::SerializeDrained, 7),
+        ];
+        let set = ChainSet::from_snapshot(&snapshot(vec![probe, wrapped], 0));
+        let by = |corr: u64| set.chains.iter().find(|c| c.corr == corr).unwrap();
+        assert_eq!(by(6).completeness(), Completeness::AttemptOnly);
+        assert!(by(6).is_steal());
+        assert_eq!(by(7).completeness(), Completeness::Orphan);
+        let acc = set.accounting();
+        assert_eq!((acc.attempt_only, acc.orphans), (1, 1));
+    }
+
+    #[test]
+    fn same_nanosecond_events_sort_causally() {
+        let corr = 11;
+        let events = vec![
+            ev(0, 100, EventKind::SerializeAckObserved, corr),
+            ev(0, 100, EventKind::SerializeRequest, corr),
+            ev(0, 100, EventKind::SerializeSignalSent, corr),
+        ];
+        let set = ChainSet::from_snapshot(&snapshot(vec![events], 0));
+        let kinds: Vec<EventKind> = set.chains[0].events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::SerializeRequest,
+                EventKind::SerializeSignalSent,
+                EventKind::SerializeAckObserved,
+            ]
+        );
+        assert_eq!(set.chains[0].round_trip_nanos(), Some(0));
+    }
+}

@@ -6,11 +6,22 @@
 //! per-thread `dropped` counter (`ph:"C"`). Timestamps are microseconds
 //! (floats), converted from the snapshot's nanosecond stamps.
 //!
+//! Causal serialization chains (events sharing a nonzero
+//! [`crate::FenceEvent::corr`]) additionally export as **flow events**
+//! (`ph:"s"/"t"/"f"` with a shared `id`), which Perfetto and
+//! `chrome://tracing` draw as arrows from the requester's
+//! `serialize-request`, across the target's handler phases, back to the
+//! requester's `serialize-ack-observed` — one arrow chain per remote
+//! serialization.
+//!
 //! Also hosts [`validate`], a dependency-free structural self-check used
-//! by CI and the examples, and [`from_check_trace`], which turns an
-//! `lbmf-check` counterexample trace into the same format so a
-//! model-checker violation opens in Perfetto next to a real-run trace.
+//! by CI and the examples (it additionally enforces flow-event pairing:
+//! every `s` has a matching `f` under the same unique id), and
+//! [`from_check_trace`], which turns an `lbmf-check` counterexample trace
+//! into the same format so a model-checker violation opens in Perfetto
+//! next to a real-run trace.
 
+use crate::causal::ChainSet;
 use crate::{EventKind, TraceSnapshot};
 use std::fmt::Write as _;
 
@@ -71,7 +82,21 @@ impl EventWriter {
 /// Render a snapshot as Chrome trace-event JSON. The output always
 /// passes [`validate`].
 pub fn export(snap: &TraceSnapshot) -> String {
+    export_with_strategy(snap, None)
+}
+
+/// [`export`], additionally stamping the fence strategy that produced the
+/// run as a metadata event (`ph:"M"`, name `lbmf_strategy`) so offline
+/// consumers — `lbmf-obs explain` — can report attribution per strategy.
+pub fn export_with_strategy(snap: &TraceSnapshot, strategy: Option<&str>) -> String {
     let mut w = EventWriter::new();
+    if let Some(strategy) = strategy {
+        w.open("lbmf_strategy", 'M', 0, 0.0);
+        w.out.push_str(",\"args\":{\"name\":\"");
+        escape_into(&mut w.out, strategy);
+        w.out.push_str("\"}");
+        w.close();
+    }
     for t in &snap.threads {
         // Row label.
         w.open("thread_name", 'M', t.tid, 0.0);
@@ -88,8 +113,18 @@ pub fn export(snap: &TraceSnapshot) -> String {
                 w.open(e.kind.name(), 'i', t.tid, ts);
                 w.out.push_str(",\"s\":\"t\"");
             }
-            if e.guarded_addr != 0 {
-                let _ = write!(w.out, ",\"args\":{{\"addr\":\"{:#x}\"}}", e.guarded_addr);
+            if e.guarded_addr != 0 || e.corr != 0 {
+                w.out.push_str(",\"args\":{");
+                if e.guarded_addr != 0 {
+                    let _ = write!(w.out, "\"addr\":\"{:#x}\"", e.guarded_addr);
+                    if e.corr != 0 {
+                        w.out.push(',');
+                    }
+                }
+                if e.corr != 0 {
+                    let _ = write!(w.out, "\"corr\":{}", e.corr);
+                }
+                w.out.push('}');
             }
             w.close();
         }
@@ -98,6 +133,32 @@ pub fn export(snap: &TraceSnapshot) -> String {
         w.open("dropped", 'C', t.tid, end);
         let _ = write!(w.out, ",\"args\":{{\"dropped\":{}}}", t.dropped);
         w.close();
+    }
+    // Flow arrows: one s→t…→f chain per correlation id, following the
+    // chain's events across threads in causal order. Single-event chains
+    // get no arrow (nothing to link).
+    for chain in ChainSet::from_snapshot(snap).chains {
+        if chain.events.len() < 2 {
+            continue;
+        }
+        let name = if chain.is_steal() { "steal-chain" } else { "serialize-chain" };
+        let last = chain.events.len() - 1;
+        for (i, e) in chain.events.iter().enumerate() {
+            let ph = if i == 0 {
+                's'
+            } else if i == last {
+                'f'
+            } else {
+                't'
+            };
+            w.open(name, ph, e.thread, e.nanos as f64 / 1000.0);
+            let _ = write!(w.out, ",\"cat\":\"lbmf\",\"id\":{}", chain.corr);
+            if ph == 'f' {
+                // Bind the arrowhead to the enclosing slice, Perfetto-style.
+                w.out.push_str(",\"bp\":\"e\"");
+            }
+            w.close();
+        }
     }
     w.finish()
 }
@@ -164,6 +225,8 @@ struct Parser<'a> {
     s: &'a [u8],
     i: usize,
     events: usize,
+    /// (ph, id) of every flow event (`s`/`t`/`f`) seen, for pairing checks.
+    flows: Vec<(char, String)>,
 }
 
 impl<'a> Parser<'a> {
@@ -272,13 +335,32 @@ impl<'a> Parser<'a> {
     fn object(&mut self, as_event: bool) -> Result<(), String> {
         self.eat(b'{')?;
         let mut keys: Vec<String> = Vec::new();
+        let mut ph: Option<String> = None;
+        let mut id: Option<String> = None;
         if self.peek() == Some(b'}') {
             self.i += 1;
         } else {
             loop {
                 let k = self.string()?;
                 self.eat(b':')?;
+                // Capture the raw value text of the keys the flow checks
+                // need; everything else is structurally validated and
+                // discarded.
+                self.skip_ws();
+                let vstart = self.i;
                 self.value(false)?;
+                if as_event && (k == "ph" || k == "id") {
+                    let raw = std::str::from_utf8(&self.s[vstart..self.i])
+                        .unwrap_or("")
+                        .trim()
+                        .trim_matches('"')
+                        .to_string();
+                    if k == "ph" {
+                        ph = Some(raw);
+                    } else {
+                        id = Some(raw);
+                    }
+                }
                 keys.push(k);
                 match self.peek() {
                     Some(b',') => self.i += 1,
@@ -296,7 +378,50 @@ impl<'a> Parser<'a> {
                     return Err(self.err(&format!("event missing \"{required}\"")));
                 }
             }
+            if let Some(ph) = ph.as_deref() {
+                if let "s" | "t" | "f" = ph {
+                    let Some(id) = id else {
+                        return Err(self.err(&format!("flow event \"{ph}\" missing \"id\"")));
+                    };
+                    self.flows.push((ph.chars().next().unwrap(), id));
+                }
+            }
             self.events += 1;
+        }
+        Ok(())
+    }
+
+    /// Flow-event pairing: every `s` (start) must be matched by exactly
+    /// one `f` (finish) under the same id, ids must be unique per chain
+    /// (no reuse across starts), and a step or finish must never name an
+    /// id that was never started.
+    fn check_flows(&self) -> Result<(), String> {
+        let ids_of = |want: char| {
+            self.flows
+                .iter()
+                .filter(move |(ph, _)| *ph == want)
+                .map(|(_, id)| id.as_str())
+        };
+        for want in ['s', 'f'] {
+            let mut seen: Vec<&str> = Vec::new();
+            for id in ids_of(want) {
+                if seen.contains(&id) {
+                    return Err(format!("flow id {id} has more than one \"{want}\" event"));
+                }
+                seen.push(id);
+            }
+        }
+        let starts: Vec<&str> = ids_of('s').collect();
+        for (ph, id) in &self.flows {
+            if matches!(ph, 't' | 'f') && !starts.contains(&id.as_str()) {
+                return Err(format!("flow \"{ph}\" for id {id} has no matching \"s\" start"));
+            }
+        }
+        let finishes: Vec<&str> = ids_of('f').collect();
+        for id in &starts {
+            if !finishes.contains(id) {
+                return Err(format!("flow \"s\" for id {id} has no matching \"f\" finish"));
+            }
         }
         Ok(())
     }
@@ -322,13 +447,16 @@ impl<'a> Parser<'a> {
 }
 
 /// Structurally validate Chrome trace-event JSON: well-formed JSON, a
-/// top-level `traceEvents` array (or a bare array), and every event
-/// carrying `name`/`ph`/`ts`/`pid`/`tid`. Returns the event count.
+/// top-level `traceEvents` array (or a bare array), every event carrying
+/// `name`/`ph`/`ts`/`pid`/`tid`, and flow events properly paired (each
+/// `s` start matched by exactly one `f` finish under a unique id, no
+/// step/finish without a start). Returns the event count.
 pub fn validate(json: &str) -> Result<usize, String> {
     let mut p = Parser {
         s: json.as_bytes(),
         i: 0,
         events: 0,
+        flows: Vec::new(),
     };
     match p.peek() {
         Some(b'[') => p.array(true)?,
@@ -363,6 +491,7 @@ pub fn validate(json: &str) -> Result<usize, String> {
     if p.i != p.s.len() {
         return Err(p.err("trailing garbage"));
     }
+    p.check_flows()?;
     Ok(p.events)
 }
 
@@ -396,6 +525,7 @@ mod tests {
                         kind: EventKind::PrimaryFence,
                         guarded_addr: 0xbeef,
                         dur: 0,
+                        corr: 0,
                     },
                     FenceEvent {
                         nanos: 2500,
@@ -403,6 +533,7 @@ mod tests {
                         kind: EventKind::SerializeDeliver,
                         guarded_addr: 0,
                         dur: 4000,
+                        corr: 0,
                     },
                 ],
                 dropped: 2,
@@ -439,6 +570,112 @@ mod tests {
         );
         assert!(validate("{\"traceEvents\":[]}extra").is_err());
         assert!(validate("").is_err());
+    }
+
+    fn chain_snapshot(corr: u64) -> TraceSnapshot {
+        let ev = |thread: u32, nanos: u64, kind: EventKind| FenceEvent {
+            nanos,
+            thread,
+            kind,
+            guarded_addr: 0x40,
+            dur: 0,
+            corr,
+        };
+        TraceSnapshot {
+            threads: vec![
+                ThreadTrace {
+                    tid: 0,
+                    name: "requester".into(),
+                    events: vec![
+                        ev(0, 1_000, EventKind::SerializeRequest),
+                        ev(0, 1_100, EventKind::SerializeSignalSent),
+                        ev(0, 2_000, EventKind::SerializeAckObserved),
+                    ],
+                    dropped: 0,
+                },
+                ThreadTrace {
+                    tid: 1,
+                    name: "target/serialize-handler".into(),
+                    events: vec![
+                        ev(1, 1_400, EventKind::SerializeHandlerEnter),
+                        ev(1, 1_600, EventKind::SerializeDrained),
+                    ],
+                    dropped: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chains_export_paired_flow_events() {
+        let json = export(&chain_snapshot(77));
+        validate(&json).expect("flow pairing must self-validate");
+        // One s, three t, one f, all under id 77, crossing both tids.
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"t\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1);
+        assert_eq!(json.matches("\"id\":77").count(), 5);
+        assert!(json.contains("\"name\":\"serialize-chain\",\"ph\":\"s\",\"pid\":1,\"tid\":0"));
+        assert!(json.contains("\"name\":\"serialize-chain\",\"ph\":\"t\",\"pid\":1,\"tid\":1"));
+        assert!(json.contains("\"bp\":\"e\""), "finish binds to enclosing slice");
+        // The phase events themselves carry corr in args.
+        assert!(json.contains("\"corr\":77"));
+    }
+
+    #[test]
+    fn strategy_metadata_and_corr_args_export() {
+        let json = export_with_strategy(&chain_snapshot(3), Some("lbmf-signal"));
+        validate(&json).expect("valid");
+        assert!(json.contains("\"name\":\"lbmf_strategy\""));
+        assert!(json.contains("\"args\":{\"name\":\"lbmf-signal\"}"));
+        assert!(json.contains("\"addr\":\"0x40\",\"corr\":3"), "addr and corr coexist in args");
+        // Without a strategy there is no metadata row.
+        assert!(!export(&chain_snapshot(3)).contains("lbmf_strategy"));
+    }
+
+    #[test]
+    fn single_event_chains_emit_no_flows() {
+        let mut snap = chain_snapshot(5);
+        snap.threads[1].events.clear();
+        snap.threads[0].events.truncate(1);
+        let json = export(&snap);
+        validate(&json).expect("valid");
+        assert!(!json.contains("\"ph\":\"s\""), "nothing to link");
+        assert!(!json.contains("\"ph\":\"f\""));
+    }
+
+    #[test]
+    fn validator_rejects_broken_flows() {
+        let wrap = |evs: &str| format!("{{\"traceEvents\":[{evs}]}}");
+        let flow = |ph: &str, id: u64| {
+            format!(
+                "{{\"name\":\"c\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":0,\"ts\":1,\"id\":{id}}}"
+            )
+        };
+        // Unmatched start.
+        let err = validate(&wrap(&flow("s", 1))).unwrap_err();
+        assert!(err.contains("no matching \"f\""), "{err}");
+        // Unmatched finish.
+        let err = validate(&wrap(&flow("f", 2))).unwrap_err();
+        assert!(err.contains("no matching \"s\""), "{err}");
+        // Step without a start.
+        let err =
+            validate(&wrap(&[flow("s", 3), flow("t", 4), flow("f", 3)].join(","))).unwrap_err();
+        assert!(err.contains("\"t\" for id 4"), "{err}");
+        // Duplicate start under one id (ids must be unique per chain).
+        let err = validate(&wrap(&[flow("s", 5), flow("s", 5), flow("f", 5)].join(",")))
+            .unwrap_err();
+        assert!(err.contains("more than one \"s\""), "{err}");
+        // Flow event with no id at all.
+        let bare = "{\"name\":\"c\",\"ph\":\"s\",\"pid\":1,\"tid\":0,\"ts\":1}";
+        let err = validate(&wrap(bare)).unwrap_err();
+        assert!(err.contains("missing \"id\""), "{err}");
+        // A healthy pair (string ids too) still passes.
+        let good = wrap(
+            "{\"name\":\"c\",\"ph\":\"s\",\"pid\":1,\"tid\":0,\"ts\":1,\"id\":\"a\"},\
+             {\"name\":\"c\",\"ph\":\"f\",\"pid\":1,\"tid\":1,\"ts\":2,\"id\":\"a\"}",
+        );
+        assert_eq!(validate(&good), Ok(2));
     }
 
     #[test]

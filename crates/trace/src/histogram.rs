@@ -97,19 +97,43 @@ impl Log2Histogram {
 
     /// Upper bound of the bucket containing the `q`-quantile
     /// (`q` in 0..=100), so accurate to within 2×. 0 if empty.
+    ///
+    /// This is the *conservative* read: the true quantile is `<=` the
+    /// returned value. For a central estimate use
+    /// [`Log2Histogram::percentile_midpoint`]; both are bucket-granular
+    /// (log2), so two recordings of the same distribution can legally
+    /// differ by one whole bucket (a factor of 2).
     pub fn percentile(&self, q: u8) -> u64 {
+        self.percentile_bucket(q)
+            .map_or(0, |i| bucket_upper(i).min(self.max))
+    }
+
+    /// Midpoint of the bucket containing the `q`-quantile (`q` in
+    /// 0..=100) — the unbiased point estimate for reports, as opposed to
+    /// the `<=` bound of [`Log2Histogram::percentile`]. Clamped to the
+    /// observed max. 0 if empty.
+    pub fn percentile_midpoint(&self, q: u8) -> u64 {
+        self.percentile_bucket(q).map_or(0, |i| {
+            let upper = bucket_upper(i);
+            let lower = if i == 0 { 0 } else { bucket_upper(i - 1) + 1 };
+            (lower + (upper - lower) / 2).min(self.max)
+        })
+    }
+
+    /// Index of the bucket containing the `q`-quantile; `None` if empty.
+    fn percentile_bucket(&self, q: u8) -> Option<usize> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = (self.count * q as u64).div_ceil(100).max(1);
         let mut seen = 0;
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= rank {
-                return bucket_upper(i).min(self.max);
+                return Some(i);
             }
         }
-        self.max
+        Some(64)
     }
 
     /// Iterate non-empty buckets as `(inclusive_upper_bound, count)`.
@@ -177,6 +201,34 @@ mod tests {
         // p100 capped at observed max, not bucket upper (1023).
         assert_eq!(h.percentile(100), 1000);
         assert_eq!(h.percentile(99), 1000);
+    }
+
+    #[test]
+    fn midpoint_is_center_of_bucket_and_clamped() {
+        let mut h = Log2Histogram::new();
+        for v in [3000u64, 3100, 3200] {
+            h.record(v); // all in bucket 12: [2048, 4095]
+        }
+        assert_eq!(h.percentile(50), 3200, "upper bound clamped to max");
+        // Midpoint of [2048, 4095] = 3071 — inside the bucket, not its rim.
+        assert_eq!(h.percentile_midpoint(50), 3071);
+        // Midpoint never exceeds the observed max either.
+        let mut low = Log2Histogram::new();
+        low.record(2100);
+        assert_eq!(low.percentile_midpoint(50), 2100);
+        // Zero bucket and empty histogram behave.
+        let mut z = Log2Histogram::new();
+        z.record(0);
+        assert_eq!(z.percentile_midpoint(50), 0);
+        assert_eq!(Log2Histogram::new().percentile_midpoint(99), 0);
+        // Midpoint <= upper bound always (sampled kinds of values).
+        let mut m = Log2Histogram::new();
+        for v in [1u64, 7, 63, 900, 70_000, u64::MAX] {
+            m.record(v);
+        }
+        for q in [1u8, 50, 90, 99, 100] {
+            assert!(m.percentile_midpoint(q) <= m.percentile(q), "q={q}");
+        }
     }
 
     #[test]

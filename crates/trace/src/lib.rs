@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod chrome;
 pub mod histogram;
 pub mod prometheus;
@@ -54,8 +55,8 @@ pub mod summary;
 
 pub use histogram::Log2Histogram;
 pub use ring::{
-    is_enabled, now_nanos, record, record_at, record_span, set_enabled, take_snapshot,
-    ThreadRing,
+    is_enabled, next_corr_id, now_nanos, record, record_at, record_corr, record_span,
+    record_span_corr, register_aux_ring, set_enabled, take_snapshot, ThreadRing,
 };
 
 /// What happened. The discriminants are stable (they are stored raw in
@@ -83,11 +84,24 @@ pub enum EventKind {
     SafepointEnter = 7,
     /// The safepoint pause ended; `dur` is the pause length.
     SafepointExit = 8,
+    /// The requester's serialization signal left `pthread_sigqueue`
+    /// (causal-span phase; carries the chain's `corr` id).
+    SerializeSignalSent = 9,
+    /// The target's signal handler started running (stamped by the
+    /// handler itself, into the target's dedicated handler ring).
+    SerializeHandlerEnter = 10,
+    /// The target's store buffer was drained (the handler's fence
+    /// retired); the in-handler time is this stamp minus the chain's
+    /// [`EventKind::SerializeHandlerEnter`] stamp.
+    SerializeDrained = 11,
+    /// The requester observed the handler's acknowledgment (its spin
+    /// ended) — the last phase of a serialization chain.
+    SerializeAckObserved = 12,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order (export iteration order).
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::PrimaryFence,
         EventKind::PrimaryFullFence,
         EventKind::SecondaryFence,
@@ -97,6 +111,10 @@ impl EventKind {
         EventKind::StealSuccess,
         EventKind::SafepointEnter,
         EventKind::SafepointExit,
+        EventKind::SerializeSignalSent,
+        EventKind::SerializeHandlerEnter,
+        EventKind::SerializeDrained,
+        EventKind::SerializeAckObserved,
     ];
 
     /// Stable machine-readable name (used by every exporter).
@@ -111,7 +129,18 @@ impl EventKind {
             EventKind::StealSuccess => "steal-success",
             EventKind::SafepointEnter => "safepoint-enter",
             EventKind::SafepointExit => "safepoint-exit",
+            EventKind::SerializeSignalSent => "serialize-signal-sent",
+            EventKind::SerializeHandlerEnter => "serialize-handler-enter",
+            EventKind::SerializeDrained => "serialize-drained",
+            EventKind::SerializeAckObserved => "serialize-ack-observed",
         }
+    }
+
+    /// Decode a stable machine-readable name back to a kind (the inverse
+    /// of [`EventKind::name`]; used by trace re-importers such as
+    /// `lbmf-obs explain`).
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
     /// Decode a stored discriminant (drainer side); `None` for a torn or
@@ -142,6 +171,11 @@ pub struct FenceEvent {
     /// Duration for span-like events (serialize round trips, safepoint
     /// pauses); 0 for instants.
     pub dur: u64,
+    /// Causal correlation id linking the phases of one remote
+    /// serialization (or one steal chain) across threads; 0 when the
+    /// event belongs to no chain. Minted by [`next_corr_id`] on the
+    /// *requester* — the primary's fast path never touches the counter.
+    pub corr: u64,
 }
 
 impl ThreadTrace {
@@ -239,6 +273,7 @@ mod tests {
                         kind: EventKind::PrimaryFence,
                         guarded_addr: 0,
                         dur: 0,
+                        corr: 0,
                     },
                     FenceEvent {
                         nanos: 2,
@@ -246,6 +281,7 @@ mod tests {
                         kind: EventKind::PrimaryFence,
                         guarded_addr: 0,
                         dur: 0,
+                        corr: 0,
                     },
                 ],
                 dropped: 3,
@@ -264,6 +300,7 @@ mod tests {
             kind: EventKind::SerializeDeliver,
             guarded_addr: 0,
             dur,
+            corr: 0,
         }
     }
 
@@ -289,6 +326,7 @@ mod tests {
                             kind: EventKind::SafepointExit,
                             guarded_addr: 0,
                             dur: 1,
+                            corr: 0,
                         },
                     ],
                     dropped: 0,

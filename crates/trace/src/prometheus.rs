@@ -82,6 +82,7 @@ mod tests {
                         kind: EventKind::PrimaryFence,
                         guarded_addr: 0,
                         dur: 0,
+                        corr: 0,
                     },
                     FenceEvent {
                         nanos: 2,
@@ -89,6 +90,7 @@ mod tests {
                         kind: EventKind::SerializeDeliver,
                         guarded_addr: 0,
                         dur: 700,
+                        corr: 0,
                     },
                 ],
                 dropped: 3,

@@ -106,15 +106,25 @@ impl ThreadRing {
     /// producer cannot corrupt memory, but its events may be lost).
     #[inline]
     pub fn append(&self, nanos: u64, kind: EventKind, addr: usize, dur: u64) {
+        self.append_corr(nanos, kind, addr, dur, 0);
+    }
+
+    /// [`ThreadRing::append`] with a causal correlation id. The id is
+    /// packed into the upper 56 bits of the slot's kind word, so carrying
+    /// it costs the producer *nothing*: the append is the exact same
+    /// number of `Relaxed` stores as before (ids above 2^56 wrap into the
+    /// field; at one mint per remote serialization that is unreachable).
+    #[inline]
+    pub fn append_corr(&self, nanos: u64, kind: EventKind, addr: usize, dur: u64, corr: u64) {
         let h = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(h & self.mask) as usize];
         // Stage 1: mark the slot in-flight (odd seq) so a concurrent
         // drainer discards whatever it reads from it.
         slot.seq.store(2 * h + 1, Ordering::Relaxed);
         compiler_fence(Ordering::SeqCst);
-        // Stage 2: the payload.
+        // Stage 2: the payload. Kind occupies the low byte, corr the rest.
         slot.nanos.store(nanos, Ordering::Relaxed);
-        slot.kind.store(kind as u8 as u64, Ordering::Relaxed);
+        slot.kind.store(kind as u8 as u64 | (corr << 8), Ordering::Relaxed);
         slot.addr.store(addr as u64, Ordering::Relaxed);
         slot.dur.store(dur, Ordering::Relaxed);
         compiler_fence(Ordering::SeqCst);
@@ -150,6 +160,7 @@ impl ThreadRing {
             if slot.seq.load(Ordering::Relaxed) != s1 {
                 continue; // overwritten while we were reading
             }
+            let corr = kind >> 8;
             let Some(kind) = EventKind::from_u8(kind as u8) else {
                 continue;
             };
@@ -159,6 +170,7 @@ impl ThreadRing {
                 kind,
                 guarded_addr: addr as usize,
                 dur,
+                corr,
             });
         }
         ThreadTrace {
@@ -201,10 +213,25 @@ pub fn is_enabled() -> bool {
 }
 
 /// Monotonic nanoseconds since the process trace epoch (set at first use).
+///
+/// Async-signal-safety note: after the first call has initialized the
+/// epoch, subsequent calls are a vDSO `clock_gettime` plus arithmetic —
+/// safe from a signal handler. Callers that record from handlers must
+/// warm this (and their ring) before installing the handler.
 #[inline]
 pub fn now_nanos() -> u64 {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Mint a fresh, process-unique, nonzero correlation id for one causal
+/// serialization chain. This is an atomic RMW — it runs on the
+/// *requester* (the thread already paying for a remote serialization),
+/// never on the primary's fence-free fast path.
+#[inline]
+pub fn next_corr_id() -> u64 {
+    static NEXT_CORR: AtomicU64 = AtomicU64::new(1);
+    NEXT_CORR.fetch_add(1, Ordering::Relaxed)
 }
 
 fn register_current_thread() -> Arc<ThreadRing> {
@@ -213,6 +240,21 @@ fn register_current_thread() -> Arc<ThreadRing> {
         .name()
         .map(str::to_owned)
         .unwrap_or_else(|| format!("thread-{tid}"));
+    let ring = Arc::new(ThreadRing::new(tid, name, DEFAULT_CAPACITY_LOG2));
+    registry().lock().unwrap().push(ring.clone());
+    ring
+}
+
+/// Allocate and register an auxiliary ring that is *not* any thread's
+/// implicit TLS ring. Used for producers that cannot share the owning
+/// thread's ring — chiefly signal handlers, which would otherwise reenter
+/// a TLS append mid-protocol and corrupt the seqlock. The caller owns the
+/// single-producer discipline; the ring drains with everything else in
+/// [`take_snapshot`]. Warms [`now_nanos`] so later appends from
+/// async-signal context never hit the epoch initialization.
+pub fn register_aux_ring(name: impl Into<String>) -> Arc<ThreadRing> {
+    now_nanos();
+    let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     let ring = Arc::new(ThreadRing::new(tid, name, DEFAULT_CAPACITY_LOG2));
     registry().lock().unwrap().push(ring.clone());
     ring
@@ -227,10 +269,22 @@ pub fn record(kind: EventKind, addr: usize, dur: u64) {
     record_at(now_nanos(), kind, addr, dur);
 }
 
+/// [`record`] carrying a causal correlation id (see [`next_corr_id`]).
+#[inline]
+pub fn record_corr(kind: EventKind, addr: usize, dur: u64, corr: u64) {
+    record_at_corr(now_nanos(), kind, addr, dur, corr);
+}
+
 /// Record one event with an explicit timestamp (used by [`record_span`]
 /// and by replayers).
 #[inline]
 pub fn record_at(nanos: u64, kind: EventKind, addr: usize, dur: u64) {
+    record_at_corr(nanos, kind, addr, dur, 0);
+}
+
+/// [`record_at`] carrying a causal correlation id.
+#[inline]
+pub fn record_at_corr(nanos: u64, kind: EventKind, addr: usize, dur: u64, corr: u64) {
     if !is_enabled() {
         return;
     }
@@ -238,7 +292,7 @@ pub fn record_at(nanos: u64, kind: EventKind, addr: usize, dur: u64) {
     // recording rather than panicking inside a destructor.
     let _ = RING.try_with(|cell| {
         cell.get_or_init(register_current_thread)
-            .append(nanos, kind, addr, dur);
+            .append_corr(nanos, kind, addr, dur, corr);
     });
 }
 
@@ -247,6 +301,12 @@ pub fn record_at(nanos: u64, kind: EventKind, addr: usize, dur: u64) {
 #[inline]
 pub fn record_span(kind: EventKind, addr: usize, start_nanos: u64) {
     record_at(start_nanos, kind, addr, now_nanos().saturating_sub(start_nanos));
+}
+
+/// [`record_span`] carrying a causal correlation id.
+#[inline]
+pub fn record_span_corr(kind: EventKind, addr: usize, start_nanos: u64, corr: u64) {
+    record_at_corr(start_nanos, kind, addr, now_nanos().saturating_sub(start_nanos), corr);
 }
 
 /// Drain every registered ring into a [`TraceSnapshot`] (non-destructive;
@@ -281,10 +341,48 @@ mod tests {
                 thread: 7,
                 kind: EventKind::PrimaryFence,
                 guarded_addr: 0xabc,
-                dur: 0
+                dur: 0,
+                corr: 0
             }
         );
         assert_eq!(t.events[1].dur, 5);
+    }
+
+    #[test]
+    fn corr_roundtrips_through_the_kind_word() {
+        let ring = ThreadRing::new(1, "corr", 4);
+        ring.append_corr(5, EventKind::SerializeSignalSent, 0x10, 0, 42);
+        ring.append_corr(6, EventKind::SerializeAckObserved, 0x10, 900, u64::MAX >> 8);
+        ring.append(7, EventKind::PrimaryFence, 0, 0);
+        let t = ring.drain();
+        assert_eq!(t.events[0].kind, EventKind::SerializeSignalSent);
+        assert_eq!(t.events[0].corr, 42);
+        assert_eq!(t.events[1].corr, u64::MAX >> 8, "full 56-bit field survives");
+        assert_eq!(t.events[1].dur, 900);
+        assert_eq!(t.events[2].corr, 0, "plain append means no chain");
+    }
+
+    #[test]
+    fn corr_ids_are_unique_and_nonzero() {
+        let a = next_corr_id();
+        let b = next_corr_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn aux_ring_registers_and_drains_with_snapshot() {
+        let ring = register_aux_ring("aux-unit-ring");
+        ring.append_corr(1, EventKind::SerializeHandlerEnter, 0x99, 0, 7);
+        let snap = take_snapshot();
+        let t = snap
+            .threads
+            .iter()
+            .find(|t| t.name == "aux-unit-ring")
+            .expect("aux ring visible to take_snapshot");
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].corr, 7);
     }
 
     #[test]

@@ -37,13 +37,19 @@ pub fn render(snap: &TraceSnapshot) -> String {
     }
     let h = snap.latency_histogram(EventKind::SerializeDeliver);
     if h.count() > 0 {
+        // Two reads of the same log2 buckets: `~` midpoint (central
+        // estimate) and `<=` bucket upper bound (conservative) — the same
+        // semantics `lbmf-bench/2` records.
         let _ = writeln!(
             out,
-            "  serialize round-trip wait: n={} mean={} p50<={} p90<={} p99<={} max={}",
+            "  serialize round-trip wait: n={} mean={} p50~{} (<={}) p90~{} (<={}) p99~{} (<={}) max={}",
             h.count(),
             h.mean(),
+            h.percentile_midpoint(50),
             h.percentile(50),
+            h.percentile_midpoint(90),
             h.percentile(90),
+            h.percentile_midpoint(99),
             h.percentile(99),
             h.max()
         );
@@ -68,6 +74,7 @@ mod tests {
                     kind: EventKind::SerializeDeliver,
                     guarded_addr: 0,
                     dur: 1234,
+                    corr: 0,
                 }],
                 dropped: 1,
             }],
@@ -76,7 +83,9 @@ mod tests {
         assert!(text.contains("1 events on 1 threads (1 dropped"));
         assert!(text.contains("serialize-deliver"));
         assert!(text.contains("secondary"));
-        assert!(text.contains("n=1 mean=1234"));
+        // 1234 lives in bucket [1024, 2047]: midpoint 1234-clamped? No —
+        // midpoint 1535 > max 1234, so clamped to 1234; bound 2047→1234.
+        assert!(text.contains("n=1 mean=1234 p50~1234 (<=1234)"), "{text}");
     }
 
     #[test]

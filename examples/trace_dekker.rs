@@ -14,6 +14,7 @@
 
 use lbmf::dekker::AsymmetricDekker;
 use lbmf::strategy::{FenceStrategy, SignalFence};
+use lbmf_repro::trace::causal::ChainSet;
 use lbmf_repro::trace::{chrome, prometheus, summary, take_snapshot, EventKind};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -88,9 +89,26 @@ fn main() {
     let stats = dekker.strategy().stats().snapshot();
     assert_eq!(stats.primary_full_fences, 0);
 
-    let json = chrome::export(&snap);
+    // Causal chains: each secondary acquisition minted a correlation id
+    // that flows request → signal-sent → handler-enter → drained →
+    // ack-observed; at least one must have survived ring wrap intact.
+    let set = ChainSet::from_snapshot(&snap);
+    let acc = set.accounting();
+    println!(
+        "causal chains: {} ({} complete, {} missing-interior, {} orphaned)",
+        set.chains.len(),
+        acc.complete,
+        acc.missing_interior,
+        acc.orphans
+    );
+    assert!(acc.complete >= 1, "no complete serialization chain survived");
+
+    let json = chrome::export_with_strategy(&snap, Some(dekker.strategy().name()));
+    // validate() also enforces flow-event pairing: every chain's `s`
+    // arrow start has a matching `f` finish under a unique id.
     let events = chrome::validate_with_serialize_pair(&json)
         .expect("exported trace failed its own self-check");
+    assert!(json.contains("\"ph\":\"s\""), "chains must export flow arrows");
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }

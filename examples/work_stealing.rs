@@ -1,7 +1,7 @@
 //! The ACilk-5 scenario: a work-stealing runtime whose victim/thief deque
 //! protocol uses location-based fences.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * default — run a few of the paper's Figure-4 kernels on the
 //!   symmetric (Cilk-5 style, mfence per pop) and asymmetric (ACilk-5
@@ -10,12 +10,18 @@
 //! * `--serve` — keep an asymmetric runtime stealing continuously and
 //!   expose the observatory's live `/metrics` + `/healthz` endpoints, so
 //!   a Prometheus scraper (or `curl`) can watch fence counters and steal
-//!   events move while the run is in flight.
+//!   events move while the run is in flight;
+//! * `--trace-out PATH` — run asymmetric kernels until at least one
+//!   steal's serialization round trip landed as a *complete causal
+//!   chain* in the trace rings, then write the validated Chrome trace
+//!   (with flow arrows and the strategy metadata `lbmf-obs explain`
+//!   consumes) to PATH.
 //!
 //! ```text
 //! cargo run --release --example work_stealing [workers]
 //! cargo run --release --example work_stealing -- --serve [--addr 127.0.0.1:9478] \
 //!     [--workers N] [--duration-secs N]
+//! cargo run --release --example work_stealing -- --trace-out steal.trace.json [--workers N]
 //! ```
 
 use lbmf_repro::cilk::bench::{Kernel, Scale};
@@ -29,6 +35,11 @@ fn main() {
     if argv.iter().any(|a| a == "--serve") {
         let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
         serve(&lbmf_bench::Args::from(&refs));
+        return;
+    }
+    if argv.iter().any(|a| a == "--trace-out") {
+        let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
+        trace_out(&lbmf_bench::Args::from(&refs));
         return;
     }
 
@@ -68,6 +79,73 @@ fn main() {
         "  every steal attempt serialized the victim remotely; the victim \
          itself never executed a hardware fence."
     );
+}
+
+/// The flight-recorder run: steal on the asymmetric runtime until the
+/// rings hold at least one complete causal serialization chain
+/// (steal-attempt → request → signal-sent → handler-enter → drained →
+/// ack-observed), then export it for `lbmf-obs explain` / Perfetto.
+fn trace_out(args: &lbmf_bench::Args) {
+    use lbmf_repro::trace::{causal::ChainSet, chrome, take_snapshot};
+
+    let path = args.value("--trace-out").expect("--trace-out needs a path");
+    let workers: usize = args.get("--workers", 2);
+    let strategy = Arc::new(SignalFence::new());
+    let sched = Scheduler::new(workers, strategy.clone());
+
+    // Discard whatever earlier activity left in the global rings so the
+    // exported trace is this run's story.
+    let _ = take_snapshot();
+
+    // Steals are scheduling luck; each attempt drains (destructively),
+    // so on a miss we run more kernels and try again.
+    const ATTEMPTS: usize = 10;
+    const RUNS_PER_ATTEMPT: usize = 10;
+    for attempt in 0..ATTEMPTS {
+        for _ in 0..RUNS_PER_ATTEMPT {
+            std::hint::black_box(Kernel::Fib.run_timed(&sched, Scale::Test).checksum);
+            if strategy.stats().snapshot().serializations_delivered > 0 {
+                break;
+            }
+        }
+        let snap = take_snapshot();
+        let set = ChainSet::from_snapshot(&snap);
+        let acc = set.accounting();
+        if acc.complete == 0 {
+            println!(
+                "attempt {}/{ATTEMPTS}: {} chain(s), none complete yet",
+                attempt + 1,
+                set.chains.len()
+            );
+            continue;
+        }
+        let steals = set.chains.iter().filter(|c| c.is_steal()).count();
+        println!(
+            "captured {} chain(s): {} complete, {} missing-interior, {} orphaned, \
+             {} attempt-only probes; {} from steals",
+            set.chains.len(),
+            acc.complete,
+            acc.missing_interior,
+            acc.orphans,
+            acc.attempt_only,
+            steals
+        );
+        let json = chrome::export_with_strategy(&snap, Some(strategy.name()));
+        chrome::validate(&json).expect("exported steal trace failed its own self-check");
+        assert!(json.contains("\"ph\":\"s\""), "complete chains must export flow arrows");
+        if let Some(dir) = std::path::Path::new(path).parent().filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(path, &json).expect("write trace file");
+        println!(
+            "wrote {path} — open in https://ui.perfetto.dev or run: \
+             cargo run -p lbmf-obs -- explain {path}"
+        );
+        return;
+    }
+    eprintln!("no complete serialization chain captured in {ATTEMPTS} attempts");
+    std::process::exit(1);
 }
 
 /// The scrapeable long run: ACilk-5 steals while lbmf-obs serves its

@@ -26,6 +26,17 @@ echo "== trace smoke: traced Dekker run + exporter self-check =="
 cargo run --release --example trace_dekker target/ci_trace_dekker.trace.json
 grep -q '"name":"serialize-deliver"' target/ci_trace_dekker.trace.json
 
+echo "== explain smoke: causal chains from live steal + Dekker runs =="
+# work_stealing --trace-out loops Figure-4 kernels until the rings hold
+# at least one *complete* causal serialization chain, then writes the
+# validated Chrome trace. `explain` re-validates (structure + flow-event
+# pairing, so any validator error is fatal), reconstructs the chains,
+# prints per-phase attribution, and --require-complete 1 exits nonzero
+# unless a full request→ack chain was reconstructed.
+cargo run --release --example work_stealing -- --trace-out target/ci_steal.trace.json
+cargo run --release -p lbmf-obs -- explain \
+    target/ci_steal.trace.json target/ci_trace_dekker.trace.json --require-complete 2
+
 echo "== zero-cost-when-disabled: trace feature compiles out =="
 cargo build --release --no-default-features -p lbmf
 cargo build --release --no-default-features -p lbmf-cilk

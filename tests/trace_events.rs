@@ -4,13 +4,20 @@
 //! every export.
 //!
 //! All tests share one process (and thus one global ring registry), so
-//! each uses named threads and inspects only its own threads' streams.
+//! each uses named threads and inspects only its own threads' streams —
+//! and the tests that *drain* the global registry serialize on
+//! [`DRAIN_LOCK`], because `take_snapshot` is destructive.
 
 use lbmf::dekker::AsymmetricDekker;
 use lbmf::strategy::SignalFence;
+use lbmf_repro::trace::causal::{ChainSet, Completeness, Phase};
 use lbmf_repro::trace::{chrome, prometheus, take_snapshot, EventKind, ThreadRing, ThreadTrace, TraceSnapshot};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Serializes the tests that call the (destructive) global
+/// `take_snapshot`, so one test's drain can't swallow another's events.
+static DRAIN_LOCK: Mutex<()> = Mutex::new(());
 
 fn thread_trace(snap: &TraceSnapshot, name: &str) -> ThreadTrace {
     snap.threads
@@ -22,6 +29,7 @@ fn thread_trace(snap: &TraceSnapshot, name: &str) -> ThreadTrace {
 
 #[test]
 fn signal_dekker_handoff_emits_expected_sequence() {
+    let _drain = DRAIN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let dekker = Arc::new(AsymmetricDekker::new(Arc::new(SignalFence::new())));
     let (ready_tx, ready_rx) = mpsc::channel::<()>();
     let (done_tx, done_rx) = mpsc::channel::<()>();
@@ -85,6 +93,93 @@ fn signal_dekker_handoff_emits_expected_sequence() {
     assert_ne!(s.events[req].guarded_addr, 0);
     assert_eq!(s.events[req].guarded_addr, s.events[del].guarded_addr);
     assert!(s.events[del].dur > 0, "signal round trip has a duration");
+}
+
+#[test]
+fn signal_dekker_serialize_forms_complete_causal_chain() {
+    let _drain = DRAIN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dekker = Arc::new(AsymmetricDekker::new(Arc::new(SignalFence::new())));
+    let (ready_tx, ready_rx) = mpsc::channel::<()>();
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+
+    let primary = {
+        let dekker = dekker.clone();
+        std::thread::Builder::new()
+            .name("chain-primary".into())
+            .spawn(move || {
+                let primary = dekker.register_primary();
+                primary.with_lock(|| {});
+                ready_tx.send(()).unwrap();
+                done_rx.recv().unwrap();
+            })
+            .unwrap()
+    };
+    ready_rx.recv().unwrap();
+    std::thread::Builder::new()
+        .name("chain-secondary".into())
+        .spawn({
+            let dekker = dekker.clone();
+            move || {
+                for _ in 0..3 {
+                    let _g = dekker.secondary_lock();
+                }
+            }
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    done_tx.send(()).unwrap();
+    primary.join().unwrap();
+
+    let snap = take_snapshot();
+    let tid_name = |tid: u32| {
+        snap.threads
+            .iter()
+            .find(|t| t.tid == tid)
+            .map(|t| t.name.clone())
+            .unwrap_or_default()
+    };
+
+    // Each of the three secondary acquisitions minted a corr id; every
+    // chain whose requester is our secondary must be complete — nothing
+    // here wraps the rings, so no phase can have been lost.
+    let set = ChainSet::from_snapshot(&snap);
+    let ours: Vec<_> = set
+        .chains
+        .iter()
+        .filter(|c| c.requester().is_some_and(|t| tid_name(t) == "chain-secondary"))
+        .collect();
+    assert!(ours.len() >= 3, "three acquisitions → three chains, got {}", ours.len());
+    for chain in &ours {
+        assert_eq!(chain.completeness(), Completeness::Complete, "corr {}", chain.corr);
+        // The handler phases landed on the primary's dedicated
+        // signal-handler ring, not on any requester ring.
+        assert_eq!(
+            tid_name(chain.target().unwrap()),
+            "chain-primary/serialize-handler"
+        );
+        // Phases partition the measured round trip: the four adjacent
+        // intervals telescope back to ack − request (saturating clamps
+        // can only inflate the sum, and only across rings; allow 10µs).
+        let rt = chain.round_trip_nanos().unwrap();
+        let sum: u64 = Phase::ALL.iter().filter_map(|&p| chain.phase_nanos(p)).sum();
+        assert!(
+            sum >= rt && sum - rt < 10_000,
+            "corr {}: phase sum {sum} vs round trip {rt}",
+            chain.corr
+        );
+    }
+    // Distinct acquisitions got distinct ids.
+    let mut corrs: Vec<u64> = ours.iter().map(|c| c.corr).collect();
+    corrs.dedup();
+    assert_eq!(corrs.len(), ours.len());
+
+    // And the chains survive the export → flow arrows appear and the
+    // validator's pairing check (every `s` has its `f`) passes.
+    let json = chrome::export_with_strategy(&snap, Some("lbmf-signal"));
+    chrome::validate(&json).expect("flow-event pairing must validate");
+    assert!(json.contains("\"name\":\"serialize-chain\""));
+    assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""));
 }
 
 #[test]
