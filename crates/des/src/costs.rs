@@ -110,6 +110,20 @@ impl DesCosts {
             self.compiler_fence
         }
     }
+
+    /// The cost-table entries that the cycle-level machine can measure
+    /// directly, `(name, cycles)` — the contract the `lbmf-obs calibrate`
+    /// pass checks against `lbmf-sim` kernel runs. Signal and membarrier
+    /// entries model OS mechanisms outside the simulated hardware and are
+    /// deliberately absent (reported as unmeasured by the calibration).
+    pub fn calibratable_entries(&self) -> [(&'static str, u64); 4] {
+        [
+            ("mfence", self.mfence),
+            ("serialize_requester_lest", self.serialize_requester_lest),
+            ("serialize_victim_lest", self.serialize_victim_lest),
+            ("cache_to_cache", self.cache_to_cache),
+        ]
+    }
 }
 
 /// A deterministic SplitMix64 RNG for simulation decisions.
@@ -158,6 +172,20 @@ mod tests {
         assert!(c.victim_fence(SerializeKind::Symmetric) > 0);
         assert_eq!(c.victim_fence(SerializeKind::Signal), 0);
         assert_eq!(c.victim_fence(SerializeKind::LeSt), 0);
+    }
+
+    #[test]
+    fn calibratable_entries_track_the_cost_model_anchors() {
+        let c = DesCosts::default();
+        let cm = CostModel::default();
+        let entries = c.calibratable_entries();
+        assert_eq!(entries[0], ("mfence", cm.mfence_base));
+        assert_eq!(
+            entries[1],
+            ("serialize_requester_lest", cm.cache_to_cache + cm.lest_roundtrip)
+        );
+        assert_eq!(entries[2], ("serialize_victim_lest", cm.sb_drain_owned));
+        assert_eq!(entries[3], ("cache_to_cache", cm.cache_to_cache));
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //!   ids, and prints per-phase latency attribution (queue → delivery →
 //!   drain → ack) with orphan/lossiness accounting — the offline half of
 //!   the cross-thread flight recorder.
+//! * **`sim` / `calibrate` / `validate`** ([`sim`]) point the observatory
+//!   at the cycle-accurate simulator: `sim` attributes coherence traffic
+//!   to the instruction classes that caused it and compares the l-mfence
+//!   and mfence serialization bills, `calibrate` replays distilled
+//!   Dekker-handoff and steal-probe kernels on both simulators and gates
+//!   on DES-cost-table drift, and `validate` structurally checks any
+//!   exported Chrome trace (flow pairing included).
 //! * **`serve`** ([`http`], [`metrics`]) exposes `/metrics` (Prometheus
 //!   exposition format: the live trace-ring export plus fence counters)
 //!   and `/healthz` from a std-only HTTP server, so a long-running
@@ -36,4 +43,5 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod schema;
+pub mod sim;
 pub mod suite;

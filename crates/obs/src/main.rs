@@ -1,10 +1,12 @@
-//! `lbmf-obs` CLI: `record`, `compare`, `serve`. See `lbmf_obs` (the
-//! library half) for what each subcommand is made of, and EXPERIMENTS.md
-//! for the recipes CI and humans follow.
+//! `lbmf-obs` CLI: `record`, `compare`, `serve`, plus the simulator-facing
+//! `sim`, `calibrate` and `validate`. See `lbmf_obs` (the library half)
+//! for what each subcommand is made of, and EXPERIMENTS.md for the
+//! recipes CI and humans follow.
 
 use lbmf_bench::Args;
 use lbmf_obs::schema::{bench_files, next_index, BenchReport};
-use lbmf_obs::{compare, explain, http, metrics, suite};
+use lbmf_obs::sim::CalibrationReport;
+use lbmf_obs::{compare, explain, http, metrics, sim, suite};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -19,6 +21,9 @@ USAGE:
     lbmf-obs compare --self-check [PATH] [--dir DIR]
     lbmf-obs explain TRACE.json [TRACE.json ...] [--require-complete N] [--max-sum-deviation PCT]
     lbmf-obs serve   [--addr HOST:PORT] [--workers N] [--duration-secs N]
+    lbmf-obs sim     [--iters N] [--prometheus]
+    lbmf-obs calibrate [--tolerance PCT] [--out PATH] [--advisory]
+    lbmf-obs validate TRACE.json [TRACE.json ...]
 
 record:   run the benchmark suite, write BENCH_<n>.json (next free n, floor 3).
           --quick uses 5 ms measurement batches (CI smoke; noisier, and
@@ -38,6 +43,18 @@ explain:  validate an exported Chrome trace, reconstruct the causal
           sum strays further than PCT% from the measured round-trip p50.
 serve:    run a steal-heavy ACilk-5 workload and serve /metrics + /healthz
           until --duration-secs elapses (0 = forever, default).
+sim:      run the cycle simulator's Dekker handoff under l-mfence and
+          mfence and attribute the coherence traffic each strategy causes:
+          per-(op, instruction class) bus transactions, link clears by
+          reason, and the serialization bill with who paid it.
+          --prometheus additionally prints the exposition-format counters.
+calibrate: replay distilled Dekker-handoff / steal-probe kernels on the
+          cycle machine and compare each measured cost against the DES
+          cost table, writing an lbmf-calib/1 report (--out). Exits 2 when
+          any entry drifts past --tolerance PCT (default 10) unless
+          --advisory downgrades that to a warning.
+validate: structurally validate exported Chrome traces (flow-event
+          pairing included) without any further interpretation.
 ";
 
 fn main() -> ExitCode {
@@ -50,6 +67,9 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args),
         Some("explain") => cmd_explain(&rest),
         Some("serve") => cmd_serve(&args),
+        Some("sim") => cmd_sim(&args),
+        Some("calibrate") => cmd_calibrate(&args),
+        Some("validate") => cmd_validate(&rest),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -268,6 +288,78 @@ fn cmd_explain(rest: &[&str]) -> ExitCode {
             eprintln!("explain gate: {f}");
         }
         return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_sim(args: &Args) -> ExitCode {
+    let iters: u64 = args.get("--iters", 3);
+    if iters == 0 {
+        return fail("--iters must be at least 1");
+    }
+    let strategies = sim::traffic_report(iters);
+    print!("{}", sim::render_traffic(&strategies));
+    if args.flag("--prometheus") {
+        for s in &strategies {
+            println!("\n# strategy {}", s.label);
+            print!("{}", s.prometheus);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_calibrate(args: &Args) -> ExitCode {
+    let tolerance: f64 = match args.value("--tolerance") {
+        Some(v) => match v.parse() {
+            Ok(t) if t >= 0.0 => t,
+            _ => return fail("--tolerance needs a non-negative percentage"),
+        },
+        None => 10.0,
+    };
+    let report = CalibrationReport::run(tolerance);
+    print!("{}", report.render_text());
+    if let Some(out) = args.value("--out") {
+        let text = report.render_json();
+        // Round-trip before writing, same contract as `record`.
+        if let Err(e) = CalibrationReport::parse(&text) {
+            return fail(&format!("internal error: report fails self-parse: {e}"));
+        }
+        if let Some(parent) = PathBuf::from(out).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(out, &text) {
+            return fail(&format!("write {out}: {e}"));
+        }
+        println!("wrote {out}");
+    }
+    if !report.all_within() {
+        if args.flag("--advisory") {
+            eprintln!("calibration gate (advisory): divergence past ±{tolerance}% — not failing the build");
+        } else {
+            eprintln!("calibration gate: divergence past ±{tolerance}%");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_validate(rest: &[&str]) -> ExitCode {
+    let paths: Vec<&&str> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+    if let Some(flag) = rest.iter().find(|a| a.starts_with("--")) {
+        return fail(&format!("unknown flag {flag:?}\n\n{USAGE}"));
+    }
+    if paths.is_empty() {
+        return fail(&format!("validate needs at least one trace path\n\n{USAGE}"));
+    }
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        match lbmf_trace::chrome::validate(&text) {
+            Ok(n) => println!("{path}: valid ({n} events)"),
+            Err(e) => return fail(&format!("{path}: invalid trace: {e}")),
+        }
     }
     ExitCode::SUCCESS
 }

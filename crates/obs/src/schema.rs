@@ -51,6 +51,23 @@ pub const SCHEMA: &str = "lbmf-bench/2";
 /// (a within-one-bucket difference `compare` already tolerates).
 pub const SCHEMA_V1: &str = "lbmf-bench/1";
 
+/// Schema identifier of the DES-vs-sim calibration report written by
+/// `lbmf-obs calibrate` (see [`crate::sim`]).
+pub const CALIB_SCHEMA: &str = "lbmf-calib/1";
+
+/// Require `root` to carry exactly the schema tag `want` — the shared
+/// first step of every schema-versioned parse in this crate.
+pub fn check_schema(root: &Json, want: &str) -> Result<(), String> {
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != want {
+        return Err(format!("unsupported schema {schema:?} (expected {want:?})"));
+    }
+    Ok(())
+}
+
 /// Where the recording host ran; compared files from different hosts get
 /// a loud warning instead of a silent apples-to-oranges delta.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -54,6 +54,10 @@ pub struct BusStats {
     pub link_natural_completions: u64,
     /// Links cleared by eviction of the guarded line.
     pub link_breaks_eviction: u64,
+    /// Links cleared by an interrupt / context switch.
+    pub link_breaks_interrupt: u64,
+    /// Links cleared by a back-to-back `l-mfence` on a new location.
+    pub link_breaks_new_lmfence: u64,
     /// mfence instructions retired.
     pub mfences: u64,
     /// Individual store completions (store-buffer drains).
@@ -75,6 +79,81 @@ impl BusStats {
     pub fn total_requests(&self) -> u64 {
         self.bus_rd + self.bus_rdx + self.bus_upgr
     }
+
+    /// Total bus transactions of every kind (including writebacks). When a
+    /// machine records its trace from reset, this equals the number of
+    /// `BusTransaction` events — the conservation law the tests pin down.
+    pub fn total_transactions(&self) -> u64 {
+        self.total_requests() + self.writebacks
+    }
+
+    /// Link-clear counts keyed by the [`LinkClearReason`] display string,
+    /// one entry per reason, in declaration order.
+    ///
+    /// [`LinkClearReason`]: crate::trace::LinkClearReason
+    pub fn link_clear_tallies(&self) -> [(&'static str, u64); 5] {
+        [
+            ("store-completed", self.link_natural_completions),
+            ("remote-downgrade", self.link_breaks_remote),
+            ("eviction", self.link_breaks_eviction),
+            ("interrupt", self.link_breaks_interrupt),
+            ("new-lmfence", self.link_breaks_new_lmfence),
+        ]
+    }
+
+    /// Total links cleared, for any reason.
+    pub fn link_clears_total(&self) -> u64 {
+        self.link_clear_tallies().iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Render a [`BusStats`] in Prometheus exposition format via the shared
+/// `lbmf_trace::prometheus` formatter, so the sim's coherence counters join
+/// the software-side metrics on one scrape surface.
+pub fn prometheus(stats: &BusStats) -> String {
+    use lbmf_trace::prometheus::render_counter_family;
+    let mut out = String::new();
+    render_counter_family(
+        &mut out,
+        "lbmf_sim_bus_ops_total",
+        "Bus transactions issued by the simulated machine, by kind.",
+        &[
+            (&[("op", "BusRd")], stats.bus_rd),
+            (&[("op", "BusRdX")], stats.bus_rdx),
+            (&[("op", "BusUpgr")], stats.bus_upgr),
+            (&[("op", "Writeback")], stats.writebacks),
+        ],
+    );
+    let tallies = stats.link_clear_tallies();
+    let samples: Vec<([(&str, &str); 1], u64)> =
+        tallies.iter().map(|&(reason, n)| ([("reason", reason)], n)).collect();
+    let rows: Vec<(&[(&str, &str)], u64)> =
+        samples.iter().map(|(l, n)| (&l[..], *n)).collect();
+    render_counter_family(
+        &mut out,
+        "lbmf_sim_link_clears_total",
+        "LE/ST links cleared, by reason.",
+        &rows,
+    );
+    render_counter_family(
+        &mut out,
+        "lbmf_sim_cache_to_cache_total",
+        "Misses served cache-to-cache rather than from memory.",
+        &[(&[], stats.cache_to_cache)],
+    );
+    render_counter_family(
+        &mut out,
+        "lbmf_sim_mfences_total",
+        "mfence instructions retired.",
+        &[(&[], stats.mfences)],
+    );
+    render_counter_family(
+        &mut out,
+        "lbmf_sim_store_completions_total",
+        "Store-buffer drains made globally visible.",
+        &[(&[], stats.store_completions)],
+    );
+    out
 }
 
 impl AddAssign for BusStats {
@@ -87,6 +166,8 @@ impl AddAssign for BusStats {
         self.link_breaks_remote += o.link_breaks_remote;
         self.link_natural_completions += o.link_natural_completions;
         self.link_breaks_eviction += o.link_breaks_eviction;
+        self.link_breaks_interrupt += o.link_breaks_interrupt;
+        self.link_breaks_new_lmfence += o.link_breaks_new_lmfence;
         self.mfences += o.mfences;
         self.store_completions += o.store_completions;
     }
@@ -127,5 +208,47 @@ mod tests {
         assert_eq!(a.bus_rd, 4);
         assert_eq!(a.mfences, 2);
         assert_eq!(a.link_breaks_remote, 5);
+    }
+
+    #[test]
+    fn tally_labels_match_link_clear_reason_display() {
+        use crate::trace::LinkClearReason::*;
+        let s = BusStats {
+            link_natural_completions: 1,
+            link_breaks_remote: 2,
+            link_breaks_eviction: 3,
+            link_breaks_interrupt: 4,
+            link_breaks_new_lmfence: 5,
+            ..Default::default()
+        };
+        let tallies = s.link_clear_tallies();
+        let reasons = [StoreCompleted, RemoteDowngrade, Eviction, Interrupt, NewLmfence];
+        for (i, r) in reasons.iter().enumerate() {
+            assert_eq!(tallies[i].0, format!("{r}"), "label/reason order mismatch at {i}");
+        }
+        assert_eq!(tallies.map(|(_, n)| n), [1, 2, 3, 4, 5]);
+        assert_eq!(s.link_clears_total(), 15);
+    }
+
+    #[test]
+    fn prometheus_renders_all_families() {
+        let s = BusStats {
+            bus_rd: 7,
+            bus_rdx: 2,
+            link_breaks_remote: 1,
+            cache_to_cache: 4,
+            mfences: 3,
+            store_completions: 9,
+            ..Default::default()
+        };
+        let text = prometheus(&s);
+        assert!(text.contains("# TYPE lbmf_sim_bus_ops_total counter\n"));
+        assert!(text.contains("lbmf_sim_bus_ops_total{op=\"BusRd\"} 7\n"));
+        assert!(text.contains("lbmf_sim_bus_ops_total{op=\"BusRdX\"} 2\n"));
+        assert!(text.contains("lbmf_sim_link_clears_total{reason=\"remote-downgrade\"} 1\n"));
+        assert!(text.contains("lbmf_sim_link_clears_total{reason=\"interrupt\"} 0\n"));
+        assert!(text.contains("lbmf_sim_cache_to_cache_total 4\n"));
+        assert!(text.contains("lbmf_sim_mfences_total 3\n"));
+        assert!(text.contains("lbmf_sim_store_completions_total 9\n"));
     }
 }

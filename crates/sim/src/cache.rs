@@ -158,6 +158,12 @@ impl Cache {
         self.lines.iter()
     }
 
+    /// Resident lines with their MESI states, in LineId order — the final
+    /// snapshot that a replayed per-line timeline must fold into.
+    pub fn states(&self) -> impl Iterator<Item = (LineId, Mesi)> + '_ {
+        self.lines.iter().map(|(id, l)| (*id, l.state))
+    }
+
     /// Feed semantic content (states + data, not LRU) into a hasher.
     pub fn hash_into<H: Hasher>(&self, h: &mut H) {
         self.lines.len().hash(h);

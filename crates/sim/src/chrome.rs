@@ -1,0 +1,365 @@
+//! Chrome trace-event export of a recorded machine execution.
+//!
+//! This renders the coherence-level view of the paper's mechanism in the
+//! same schema PRs 2–4 built for the software layer, via
+//! [`lbmf_trace::chrome::ChromeWriter`]: open the result in Perfetto and
+//! the MESI downgrade that serializes an `l-mfence` is a visible arrow
+//! rather than a counter.
+//!
+//! Track layout (one Perfetto row per `tid`, all under `pid` 1):
+//!
+//! * `tid = i` — CPU `i`'s committed instructions as instants, its
+//!   critical sections as `"critical-section"` spans, and every bus
+//!   transaction it puts on the bus (named `BusRd`/`BusRdX`/`BusUpgr`/
+//!   `Writeback`, with the line and the causing instruction class in
+//!   `args`).
+//! * `tid = 100 + i` — CPU `i`'s LE/ST link lifetimes: one
+//!   `"le/st-link"` span per `LinkSet`→`LinkCleared` window, annotated
+//!   with the guarded address and the [`LinkClearReason`].
+//! * `tid = 200 + k` — one MESI state timeline per `(cpu, line)` pair,
+//!   allocated in first-appearance order: contiguous `M`/`O`/`E`/`S`
+//!   spans; gaps are Invalid.
+//!
+//! Flow arrows named `"remote-downgrade"` connect a remote CPU's bus
+//! transaction (`ph:"s"`) through the victim's `LinkCleared` (`ph:"t"`)
+//! to the guarded-store flush it forces (`ph:"f"` on the first flushed
+//! `StoreCompleted`) — the hardware analog of the software serialize
+//! chains. The exporter's output always passes
+//! [`lbmf_trace::chrome::validate`], including flow pairing.
+//!
+//! Timestamps are the trace's global sequence numbers, one microsecond of
+//! Perfetto time per sequence step (virtual time, same convention as the
+//! DES exporter).
+
+use crate::machine::Machine;
+use crate::mesi::Mesi;
+use crate::trace::{Event, EventKind};
+use lbmf_trace::chrome::ChromeWriter;
+use std::collections::BTreeMap;
+
+/// Base tid of the per-CPU LE/ST link tracks.
+pub const LINK_TID_BASE: u32 = 100;
+/// Base tid of the per-(cpu, line) MESI timeline tracks.
+pub const MESI_TID_BASE: u32 = 200;
+
+/// Render the machine's recorded trace as Chrome trace-event JSON.
+///
+/// Requires `cfg.record_trace` to have been on from reset; with an empty
+/// trace the output is a valid, empty document.
+pub fn export(m: &Machine) -> String {
+    export_with_label(m, None)
+}
+
+/// [`export`], additionally stamping a strategy label as an
+/// `lbmf_strategy` metadata event (the convention `lbmf-obs explain`
+/// understands).
+pub fn export_with_label(m: &Machine, strategy: Option<&str>) -> String {
+    let mut w = ChromeWriter::new();
+    if let Some(strategy) = strategy {
+        w.open("lbmf_strategy", 'M', 0, 0.0);
+        w.arg_str("name", strategy);
+        w.close();
+    }
+    let events = &m.trace.events;
+    let end_ts = events.last().map_or(1.0, |e| e.seq as f64 + 1.0);
+
+    // Row labels.
+    for i in 0..m.num_cpus() {
+        w.thread_name(i as u32, &format!("cpu{i} ({})", m.program(i).name));
+        w.thread_name(LINK_TID_BASE + i as u32, &format!("cpu{i} le/st link"));
+    }
+
+    // Per-CPU instruction/bus instants and critical-section spans.
+    let mut cs_open: Vec<Option<f64>> = vec![None; m.num_cpus()];
+    for e in events {
+        let ts = e.seq as f64;
+        let tid = e.cpu as u32;
+        match e.kind {
+            EventKind::LoadCommitted { addr, val, forwarded } => {
+                w.open("load", 'i', tid, ts);
+                w.scope('t');
+                w.arg_str("addr", &format!("{addr}"));
+                w.arg_u64("val", val);
+                w.arg_u64("forwarded", forwarded as u64);
+                w.close();
+            }
+            EventKind::StoreCommitted { addr, val, guarded } => {
+                w.open("store-commit", 'i', tid, ts);
+                w.scope('t');
+                w.arg_str("addr", &format!("{addr}"));
+                w.arg_u64("val", val);
+                w.arg_u64("guarded", guarded as u64);
+                w.close();
+            }
+            EventKind::StoreCompleted { addr, val, commit_seq } => {
+                w.open("store-complete", 'i', tid, ts);
+                w.scope('t');
+                w.arg_str("addr", &format!("{addr}"));
+                w.arg_u64("val", val);
+                w.arg_u64("commit_seq", commit_seq);
+                w.close();
+            }
+            EventKind::LeCommitted { addr } => {
+                w.open("le", 'i', tid, ts);
+                w.scope('t');
+                w.arg_str("addr", &format!("{addr}"));
+                w.close();
+            }
+            EventKind::FenceCompleted => {
+                w.open("mfence", 'i', tid, ts);
+                w.scope('t');
+                w.close();
+            }
+            EventKind::LinkSet { addr } => {
+                w.open("link-set", 'i', tid, ts);
+                w.scope('t');
+                w.arg_str("addr", &format!("{addr}"));
+                w.close();
+            }
+            EventKind::LinkCleared { reason } => {
+                w.open("link-cleared", 'i', tid, ts);
+                w.scope('t');
+                w.arg_str("reason", &format!("{reason}"));
+                w.close();
+            }
+            EventKind::EnterCs => {
+                cs_open[e.cpu] = Some(ts);
+            }
+            EventKind::LeaveCs => {
+                if let Some(start) = cs_open[e.cpu].take() {
+                    w.open("critical-section", 'X', tid, start);
+                    w.dur(ts - start);
+                    w.close();
+                }
+            }
+            EventKind::MutexViolation { other_cpu } => {
+                w.open("mutex-violation", 'i', tid, ts);
+                w.scope('g');
+                w.arg_u64("other_cpu", other_cpu as u64);
+                w.close();
+            }
+            EventKind::BusTransaction { op, line, cause } => {
+                w.open(&format!("{op}"), 'i', tid, ts);
+                w.scope('t');
+                w.arg_str("line", &format!("{line}"));
+                w.arg_str("cause", &format!("{cause}"));
+                w.close();
+            }
+            EventKind::MesiTransition { .. } => {} // rendered as timelines below
+        }
+    }
+    for (i, open) in cs_open.into_iter().enumerate() {
+        if let Some(start) = open {
+            w.open("critical-section", 'X', i as u32, start);
+            w.dur(end_ts - start);
+            w.close();
+        }
+    }
+
+    // LE/ST link lifetime spans.
+    for i in 0..m.num_cpus() {
+        let mut open: Option<(f64, String)> = None;
+        for e in events.iter().filter(|e| e.cpu == i) {
+            match e.kind {
+                EventKind::LinkSet { addr } => {
+                    // A re-set of an already-open link (same location,
+                    // back-to-back l-mfence) extends the existing span.
+                    if open.is_none() {
+                        open = Some((e.seq as f64, format!("{addr}")));
+                    }
+                }
+                EventKind::LinkCleared { reason } => {
+                    if let Some((start, addr)) = open.take() {
+                        w.open("le/st-link", 'X', LINK_TID_BASE + i as u32, start);
+                        w.dur(e.seq as f64 - start);
+                        w.arg_str("addr", &addr);
+                        w.arg_str("reason", &format!("{reason}"));
+                        w.close();
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((start, addr)) = open {
+            w.open("le/st-link", 'X', LINK_TID_BASE + i as u32, start);
+            w.dur(end_ts - start);
+            w.arg_str("addr", &addr);
+            w.arg_str("reason", "still-linked");
+            w.close();
+        }
+    }
+
+    // MESI state timelines: one track per (cpu, line), first-seen order.
+    let mut mesi_tids: BTreeMap<(usize, u64), u32> = BTreeMap::new();
+    let mut mesi_open: BTreeMap<(usize, u64), (Mesi, f64)> = BTreeMap::new();
+    let mut next_mesi_tid = MESI_TID_BASE;
+    for e in events {
+        if let EventKind::MesiTransition { line, from, to } = e.kind {
+            let key = (e.cpu, line.0);
+            let tid = *mesi_tids.entry(key).or_insert_with(|| {
+                let tid = next_mesi_tid;
+                next_mesi_tid += 1;
+                w.thread_name(tid, &format!("cpu{} {line} MESI", e.cpu));
+                tid
+            });
+            let ts = e.seq as f64;
+            let start = match mesi_open.remove(&key) {
+                Some((state, start)) => {
+                    debug_assert_eq!(state, from, "MESI timeline discontinuity");
+                    Some(start)
+                }
+                // A first transition out of a non-I state means the line
+                // was resident since before time zero.
+                None if from != Mesi::I => Some(0.0),
+                None => None,
+            };
+            if let Some(start) = start {
+                w.open(from.label(), 'X', tid, start);
+                w.dur(ts - start);
+                w.arg_str("line", &format!("{line}"));
+                w.close();
+            }
+            if to != Mesi::I {
+                mesi_open.insert(key, (to, ts));
+            }
+        }
+    }
+    for ((cpu, line), (state, start)) in mesi_open {
+        let tid = mesi_tids[&(cpu, line)];
+        w.open(state.label(), 'X', tid, start);
+        w.dur(end_ts - start);
+        w.arg_str("line", &format!("L{line}"));
+        w.close();
+    }
+
+    // Remote-downgrade flow arrows: requesting CPU's bus transaction →
+    // victim's link-clear → first flushed guarded store.
+    let mut flow_id = 0u64;
+    for (k, e) in events.iter().enumerate() {
+        let is_remote_clear = matches!(
+            e.kind,
+            EventKind::LinkCleared { reason: crate::trace::LinkClearReason::RemoteDowngrade }
+        );
+        if !is_remote_clear {
+            continue;
+        }
+        let victim = e.cpu;
+        // The bus transaction that broke the link immediately precedes the
+        // clear (they are one atomic transition); scan back for it.
+        let request = events[..k]
+            .iter()
+            .rev()
+            .find(|p| p.cpu != victim && matches!(p.kind, EventKind::BusTransaction { .. }));
+        let request = match request {
+            Some(r) => r,
+            None => continue, // trace started mid-transition; no arrow
+        };
+        // The forced flush follows within the same transition: accept
+        // StoreCompleted events until the victim resumes committing.
+        let flush = events[k + 1..].iter().take_while(|n| {
+            n.cpu != victim
+                || matches!(
+                    n.kind,
+                    EventKind::StoreCompleted { .. }
+                        | EventKind::BusTransaction { .. }
+                        | EventKind::MesiTransition { .. }
+                        | EventKind::LinkCleared { .. }
+                )
+        });
+        let flush = flush
+            .filter(|n| n.cpu == victim)
+            .find(|n| matches!(n.kind, EventKind::StoreCompleted { .. }));
+        flow_id += 1;
+        let arrow = |w: &mut ChromeWriter, ph: char, ev: &Event| {
+            w.open("remote-downgrade", ph, ev.cpu as u32, ev.seq as f64);
+            w.flow_id(flow_id);
+            if ph == 'f' {
+                w.bind_enclosing();
+            }
+            w.close();
+        };
+        arrow(&mut w, 's', request);
+        match flush {
+            Some(f) => {
+                arrow(&mut w, 't', e);
+                arrow(&mut w, 'f', f);
+            }
+            None => arrow(&mut w, 'f', e),
+        }
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::cost::CostModel;
+    use crate::isa::ProgramBuilder;
+    use crate::machine::{MachineConfig, Transition};
+    use lbmf_trace::chrome::validate;
+
+    fn lmfence_vs_reader() -> Machine {
+        let mut b0 = ProgramBuilder::new("primary");
+        b0.lmfence(Addr(1), 1u64).halt();
+        let mut b1 = ProgramBuilder::new("secondary");
+        b1.ld(0, Addr(1)).halt();
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            CostModel::default(),
+            vec![b0.build(), b1.build()],
+        );
+        // Primary runs its whole l-mfence (store still buffered, link
+        // set), then the secondary's load forces the downgrade.
+        for _ in 0..5 {
+            m.apply(Transition::Step(0));
+        }
+        m.apply(Transition::Step(1));
+        while !m.is_terminal() {
+            let ts = m.enabled_transitions();
+            m.apply(ts[0]);
+        }
+        m
+    }
+
+    #[test]
+    fn export_validates_with_link_span_mesi_track_and_flow() {
+        let m = lmfence_vs_reader();
+        assert_eq!(m.stats.link_breaks_remote, 1);
+        let json = export_with_label(&m, Some("sim-l-mfence"));
+        let n = validate(&json).expect("exporter output must validate");
+        assert!(n > 0);
+        assert!(json.contains("\"name\":\"lbmf_strategy\""));
+        assert!(json.contains("\"name\":\"le/st-link\""), "link span present");
+        assert!(json.contains("\"reason\":\"remote-downgrade\""));
+        assert!(json.contains(" MESI\""), "MESI timeline track present");
+        assert!(json.contains("\"name\":\"remote-downgrade\""), "flow arrow present");
+        assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""));
+    }
+
+    #[test]
+    fn flow_arrow_count_matches_remote_breaks() {
+        let m = lmfence_vs_reader();
+        let json = export(&m);
+        let starts = json.matches("\"ph\":\"s\"").count();
+        assert_eq!(starts as u64, m.stats.link_breaks_remote);
+    }
+
+    #[test]
+    fn untraced_machine_exports_empty_but_valid_document() {
+        let mut b = ProgramBuilder::new("p");
+        b.st(Addr(1), 1u64).halt();
+        let mut m = Machine::new(
+            MachineConfig { record_trace: false, ..MachineConfig::default() },
+            CostModel::default(),
+            vec![b.build()],
+        );
+        while !m.is_terminal() {
+            let ts = m.enabled_transitions();
+            m.apply(ts[0]);
+        }
+        let json = export(&m);
+        validate(&json).expect("empty trace still validates");
+        assert!(!json.contains("\"name\":\"store-complete\""));
+    }
+}

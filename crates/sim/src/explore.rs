@@ -236,6 +236,13 @@ pub fn replay(cfg: MachineConfig, progs: Vec<Program>, path: &[Transition]) -> M
     m
 }
 
+/// [`replay`] a schedule and render the resulting trace as Chrome
+/// trace-event JSON — a model-checker counterexample as a Perfetto
+/// timeline, coherence arrows included.
+pub fn replay_chrome(cfg: MachineConfig, progs: Vec<Program>, path: &[Transition]) -> String {
+    crate::chrome::export(&replay(cfg, progs, path))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,5 +370,24 @@ mod tests {
             .explore(Machine::for_checking(progs), |m| (m.cpus[0].regs[1], m.cpus[1].regs[1]));
         assert_eq!(r.mutex_violations, 0);
         assert!(r.first_violation.is_none());
+    }
+
+    #[test]
+    fn counterexample_replays_to_valid_chrome_trace() {
+        let opt = DekkerOptions {
+            iters: 1,
+            cs_mem_ops: false,
+            cs_work: 0,
+        };
+        let progs = dekker_pair([FenceKind::None, FenceKind::None], opt);
+        let m = Machine::for_checking(progs.clone());
+        let cfg = m.cfg;
+        let path = Explorer::default()
+            .find_shortest_violation(m)
+            .expect("violation exists");
+        let json = replay_chrome(cfg, progs, &path);
+        lbmf_trace::chrome::validate(&json).expect("counterexample trace must validate");
+        assert!(json.contains("\"name\":\"store-commit\""));
+        assert!(json.contains("\"name\":\"mutex-violation\""));
     }
 }

@@ -19,6 +19,10 @@
 //!   program, turning the paper's Theorems 4 and 7 into checkable facts.
 //! * [`check`] validates executions against Definition 1 (serialization
 //!   order), the Section 2 TSO ordering principles, and Lemma 3.
+//! * [`chrome`] renders a recorded machine trace in the `lbmf-trace`
+//!   Chrome schema: per-CPU instruction tracks, per-line MESI state
+//!   timelines, LE/ST link-lifetime spans, and flow arrows from a remote
+//!   coherence request to the guarded-store flush it forces.
 //! * [`cost::CostModel`] carries the cycle calibration used by the
 //!   experiment harnesses (mfence stalls, ~150-cycle LE/ST round trips,
 //!   ~10,000-cycle signal round trips).
@@ -46,6 +50,7 @@ pub mod addr;
 pub mod bus;
 pub mod cache;
 pub mod check;
+pub mod chrome;
 pub mod cost;
 pub mod cpu;
 pub mod explore;

@@ -36,7 +36,7 @@ use crate::cpu::CpuState;
 use crate::isa::{Inst, Program};
 use crate::mesi::{Coherence, Mesi};
 use crate::store_buffer::{SbEntry, StoreBuffer};
-use crate::trace::{Event, EventKind, LinkClearReason, Trace};
+use crate::trace::{BusCause, Event, EventKind, LinkClearReason, Trace};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
@@ -172,6 +172,40 @@ impl Machine {
         }
     }
 
+    /// Emit a recording-only observability event (bus transactions, MESI
+    /// transitions). Unlike [`emit`](Self::emit) this consumes a sequence
+    /// number only when the trace is recorded, so untraced runs — the model
+    /// checker in particular — execute exactly as if these events did not
+    /// exist.
+    fn emit_traced(&mut self, cpu: usize, kind: EventKind) {
+        if self.cfg.record_trace {
+            let seq = self.next_seq();
+            self.trace.push(Event { seq, cpu, kind });
+        }
+    }
+
+    /// Count a bus transaction and attribute it. `cpu` is the cache acting
+    /// on the bus (the requester, or the cache supplying/writing back data
+    /// for `Writeback`); `cause` is the instruction class that forced the
+    /// transaction. Every `stats.record` call routes through here, which is
+    /// what makes `BusStats` totals equal the number of `BusTransaction`
+    /// events (the conservation law in `tests/conservation.rs`).
+    fn record_bus(&mut self, cpu: usize, op: BusOp, line: LineId, cause: BusCause) {
+        self.stats.record(op);
+        self.emit_traced(cpu, EventKind::BusTransaction { op, line, cause });
+    }
+
+    /// Set `line`'s state in CPU `j`'s cache (removing it when `to` is I),
+    /// emitting a `MesiTransition` when the state actually changes.
+    fn transition_line(&mut self, j: usize, line: LineId, to: Mesi) {
+        let from = self.caches[j].state(line);
+        if from == to {
+            return;
+        }
+        self.caches[j].set_state(line, to);
+        self.emit_traced(j, EventKind::MesiTransition { line, from, to });
+    }
+
     /// Word value in main memory (0 if never written back).
     pub fn mem_word(&self, addr: Addr) -> u64 {
         self.mem.get(&addr).copied().unwrap_or(0)
@@ -258,6 +292,7 @@ impl Machine {
     fn interrupt(&mut self, i: usize) -> u64 {
         if self.cpus[i].le_bit || self.cpus[i].le_addr.is_some() {
             self.cpus[i].clear_link_regs();
+            self.stats.link_breaks_interrupt += 1;
             self.emit(i, EventKind::LinkCleared { reason: LinkClearReason::Interrupt });
         }
         let entries = self.sbs[i].len() as u64;
@@ -312,7 +347,7 @@ impl Machine {
             Inst::Le { addr } => {
                 let a = self.cpus[i].eval_addr(addr);
                 let line = self.cfg.geom.line_of(a);
-                let cost = self.ensure_exclusive(i, line) + self.cost.le_extra;
+                let cost = self.ensure_exclusive(i, line, BusCause::LoadExclusive) + self.cost.le_extra;
                 self.emit(i, EventKind::LeCommitted { addr: a });
                 if self.cpus[i].le_regs_guard(a) {
                     self.emit(i, EventKind::LinkSet { addr: a });
@@ -347,6 +382,7 @@ impl Machine {
                         // location: clear the old link and flush first
                         // (Section 3). LEBit stays set — K1.1 of the *new*
                         // l-mfence already wrote it.
+                        self.stats.link_breaks_new_lmfence += 1;
                         self.emit(i, EventKind::LinkCleared { reason: LinkClearReason::NewLmfence });
                         cost += self.sbs[i].len() as u64 * self.cost.sb_drain_owned;
                         self.flush_sb(i);
@@ -458,7 +494,7 @@ impl Machine {
         if self.caches[i].state(line).readable() {
             return self.cost.l1_hit;
         }
-        self.stats.record(BusOp::BusRd);
+        self.record_bus(i, BusOp::BusRd, line, BusCause::Load);
         let mut served_remotely = false;
         let mut roundtrip = 0;
         for j in 0..self.num_cpus() {
@@ -481,11 +517,11 @@ impl Machine {
                     // MOESI keeps the dirty data as Owned.
                     let (new_state, wb) = self.cfg.coherence.modified_on_remote_read();
                     if wb {
-                        self.writeback(j, line);
+                        self.writeback(j, line, BusCause::Load);
                     }
-                    self.caches[j].set_state(line, new_state);
+                    self.transition_line(j, line, new_state);
                 }
-                Mesi::E => self.caches[j].set_state(line, Mesi::S),
+                Mesi::E => self.transition_line(j, line, Mesi::S),
                 Mesi::O | Mesi::S | Mesi::I => {}
             }
         }
@@ -508,8 +544,10 @@ impl Machine {
     }
 
     /// Ensure CPU `i` holds `line` exclusively (M/E, or M under MSI).
-    /// Used by the `LE` instruction and by store completion.
-    fn ensure_exclusive(&mut self, i: usize, line: LineId) -> u64 {
+    /// Used by the `LE` instruction (`cause = LoadExclusive`) and by store
+    /// completion (`cause = StoreDrain`); the cause attributes any bus
+    /// transaction this issues.
+    fn ensure_exclusive(&mut self, i: usize, line: LineId, cause: BusCause) -> u64 {
         match self.caches[i].state(line) {
             Mesi::M | Mesi::E => self.cost.l1_hit,
             Mesi::O | Mesi::S => {
@@ -519,7 +557,7 @@ impl Machine {
                 // protocol's exclusive state. A remote Owned sharer (we
                 // are S, it is O) must write back before invalidation so
                 // the clean-upgrade does not lose the dirty data.
-                self.stats.record(BusOp::BusUpgr);
+                self.record_bus(i, BusOp::BusUpgr, line, cause);
                 let was_owned = self.caches[i].state(line) == Mesi::O;
                 let mut roundtrip = 0;
                 for j in 0..self.num_cpus() {
@@ -534,20 +572,20 @@ impl Machine {
                     // Definition 3), but be defensive.
                     roundtrip += self.break_link_if_guarded(j, line);
                     if self.caches[j].state(line) == Mesi::O {
-                        self.writeback(j, line);
+                        self.writeback(j, line, cause);
                     }
-                    self.caches[j].invalidate(line);
+                    self.transition_line(j, line, Mesi::I);
                 }
                 let new_state = if was_owned {
                     Mesi::M
                 } else {
                     self.cfg.coherence.exclusive_state()
                 };
-                self.caches[i].set_state(line, new_state);
+                self.transition_line(i, line, new_state);
                 self.cost.cache_to_cache / 2 + roundtrip
             }
             Mesi::I => {
-                self.stats.record(BusOp::BusRdX);
+                self.record_bus(i, BusOp::BusRdX, line, cause);
                 let mut served_remotely = false;
                 let mut roundtrip = 0;
                 for j in 0..self.num_cpus() {
@@ -563,9 +601,9 @@ impl Machine {
                         roundtrip += self.break_link_if_guarded(j, line);
                     }
                     if self.caches[j].state(line).dirty() {
-                        self.writeback(j, line);
+                        self.writeback(j, line, cause);
                     }
-                    self.caches[j].invalidate(line);
+                    self.transition_line(j, line, Mesi::I);
                 }
                 let data = self.authoritative_line_data(line);
                 self.insert_line(i, line, self.cfg.coherence.exclusive_state(), data);
@@ -606,9 +644,10 @@ impl Machine {
     }
 
     /// Write `line`'s Modified data back to memory; the line becomes clean
-    /// (state unchanged by this helper).
-    fn writeback(&mut self, j: usize, line: LineId) {
-        self.stats.record(BusOp::Writeback);
+    /// (state unchanged by this helper). `cause` attributes the forced
+    /// writeback to the instruction class that triggered it.
+    fn writeback(&mut self, j: usize, line: LineId, cause: BusCause) {
+        self.record_bus(j, BusOp::Writeback, line, cause);
         let geom = self.cfg.geom;
         let data = self.caches[j]
             .get(line)
@@ -646,13 +685,20 @@ impl Machine {
     /// controller must notify the processor when it needs to evict the
     /// cache line").
     fn insert_line(&mut self, i: usize, line: LineId, state: Mesi, data: Vec<u64>) {
+        let from = self.caches[i].state(line);
         let evicted = self.caches[i].insert(line, state, data);
         if let Some((victim_id, victim)) = evicted {
+            // The victim is already out of the map, so transition_line
+            // cannot see its old state; emit the drop directly.
+            self.emit_traced(
+                i,
+                EventKind::MesiTransition { line: victim_id, from: victim.state, to: Mesi::I },
+            );
             if victim.state.dirty() {
                 // Reinsert transiently so writeback can read it — simpler:
                 // write the victim's words straight to memory.
                 let geom = self.cfg.geom;
-                self.stats.record(BusOp::Writeback);
+                self.record_bus(i, BusOp::Writeback, victim_id, BusCause::Eviction);
                 for (k, addr) in geom.words_of(victim_id).enumerate() {
                     if victim.data[k] == 0 {
                         self.mem.remove(&addr);
@@ -676,6 +722,9 @@ impl Machine {
                 // must complete first to preserve FIFO order).
                 self.pending_flush[i] = true;
             }
+        }
+        if from != state {
+            self.emit_traced(i, EventKind::MesiTransition { line, from, to: state });
         }
     }
 
@@ -701,10 +750,16 @@ impl Machine {
         let mut cost = if owned {
             self.cost.sb_drain_owned
         } else {
-            self.ensure_exclusive(i, line)
+            self.ensure_exclusive(i, line, BusCause::StoreDrain)
         };
         let _ = served_remotely;
+        let pre = self.caches[i].state(line);
         self.caches[i].write_word(&self.cfg.geom, entry.addr, entry.val);
+        if pre != Mesi::M {
+            // write_word silently upgrades E (or the fresh exclusive state)
+            // to M; surface that on the timeline.
+            self.emit_traced(i, EventKind::MesiTransition { line, from: pre, to: Mesi::M });
+        }
         self.stats.store_completions += 1;
         self.emit(
             i,

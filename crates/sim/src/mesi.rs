@@ -116,18 +116,23 @@ impl Mesi {
     pub fn dirty(self) -> bool {
         matches!(self, Mesi::M | Mesi::O)
     }
+
+    /// Single-letter state name, as a static string (the Display form);
+    /// timeline exporters use it as the span name without allocating.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mesi::M => "M",
+            Mesi::O => "O",
+            Mesi::E => "E",
+            Mesi::S => "S",
+            Mesi::I => "I",
+        }
+    }
 }
 
 impl fmt::Display for Mesi {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let c = match self {
-            Mesi::M => 'M',
-            Mesi::O => 'O',
-            Mesi::E => 'E',
-            Mesi::S => 'S',
-            Mesi::I => 'I',
-        };
-        write!(f, "{c}")
+        f.write_str(self.label())
     }
 }
 

@@ -6,8 +6,38 @@
 //! order of Definition 1, and the guarded-store visibility property of
 //! Lemma 3.
 
-use crate::addr::Addr;
+use crate::addr::{Addr, LineId};
+use crate::bus::BusOp;
+use crate::mesi::Mesi;
 use std::fmt;
+
+/// What class of action put a transaction on the bus — the attribution
+/// half of the coherence observability layer: every
+/// [`EventKind::BusTransaction`] names the instruction class (on the
+/// event's CPU) that caused it, so traffic rolls up per fence strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BusCause {
+    /// A committed load missed in the local cache.
+    Load,
+    /// An `LE` (load-exclusive) acquired ownership to set up a link.
+    LoadExclusive,
+    /// A store-buffer drain needed ownership to complete a store.
+    StoreDrain,
+    /// A capacity eviction forced the transaction (victim writeback).
+    Eviction,
+}
+
+impl fmt::Display for BusCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BusCause::Load => "load",
+            BusCause::LoadExclusive => "load-exclusive",
+            BusCause::StoreDrain => "store-drain",
+            BusCause::Eviction => "eviction",
+        };
+        f.write_str(s)
+    }
+}
 
 /// Why an LE/ST link was cleared.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -75,6 +105,14 @@ pub enum EventKind {
     LeaveCs,
     /// Two CPUs were observed inside the critical section at once.
     MutexViolation { other_cpu: usize },
+    /// A bus transaction was issued; `cpu` is the cache acting on the bus
+    /// and `cause` the instruction class that forced it. Recording-only:
+    /// emitted (and a sequence number consumed) only under
+    /// `MachineConfig::record_trace`.
+    BusTransaction { op: BusOp, line: LineId, cause: BusCause },
+    /// A cache line changed MESI state in `cpu`'s private cache (`to == I`
+    /// means the line was dropped). Recording-only, like `BusTransaction`.
+    MesiTransition { line: LineId, from: Mesi, to: Mesi },
 }
 
 /// A timestamped, attributed event.
@@ -109,6 +147,12 @@ impl fmt::Display for Event {
             EventKind::LeaveCs => write!(f, "leave CS"),
             EventKind::MutexViolation { other_cpu } => {
                 write!(f, "MUTEX VIOLATION (with cpu{other_cpu})")
+            }
+            EventKind::BusTransaction { op, line, cause } => {
+                write!(f, "{op} {line} ({cause})")
+            }
+            EventKind::MesiTransition { line, from, to } => {
+                write!(f, "{line}: {from} -> {to}")
             }
         }
     }

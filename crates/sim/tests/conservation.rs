@@ -1,0 +1,290 @@
+//! Bus/event conservation laws for the coherence observability layer.
+//!
+//! The coherence-level trace (`BusTransaction`, `MesiTransition`) is an
+//! *accounting* of the machine's behaviour, not a parallel bookkeeping
+//! path — so its totals must agree exactly with `BusStats`, the per-line
+//! MESI timelines must fold into the caches' final states, and every
+//! remote link break must be traceable to the bus transaction that
+//! caused it.
+
+use lbmf_sim::bus::BusOp;
+use lbmf_sim::prelude::*;
+use lbmf_sim::trace::BusCause;
+use std::collections::BTreeMap;
+
+fn traced_machine(kinds: [FenceKind; 2], iters: u64) -> Machine {
+    let opt = DekkerOptions {
+        iters,
+        cs_mem_ops: true,
+        cs_work: 2,
+    };
+    Machine::new(
+        MachineConfig::default(),
+        CostModel::default(),
+        dekker_pair_with_turn(kinds, opt),
+    )
+}
+
+fn run(m: &mut Machine) {
+    // A generous drain delay keeps guarded stores buffered across the race
+    // window, so the remote-downgrade paths are actually exercised.
+    assert!(m.run_pseudo_parallel(40, 1_000_000), "run did not finish");
+    m.flush_all();
+}
+
+fn bus_event_counts(m: &Machine) -> BTreeMap<&'static str, u64> {
+    let mut counts: BTreeMap<&'static str, u64> =
+        [("BusRd", 0), ("BusRdX", 0), ("BusUpgr", 0), ("Writeback", 0)]
+            .into_iter()
+            .collect();
+    for e in m.trace.iter() {
+        if let EventKind::BusTransaction { op, .. } = e.kind {
+            let key = match op {
+                BusOp::BusRd => "BusRd",
+                BusOp::BusRdX => "BusRdX",
+                BusOp::BusUpgr => "BusUpgr",
+                BusOp::Writeback => "Writeback",
+            };
+            *counts.get_mut(key).unwrap() += 1;
+        }
+    }
+    counts
+}
+
+/// Every `stats.record` routes through the event emitter, so `BusStats`
+/// equals the per-op `BusTransaction` event counts exactly.
+#[test]
+fn bus_stats_equal_bus_transaction_events() {
+    for kinds in [[FenceKind::Lmfence, FenceKind::Lmfence], [FenceKind::Mfence, FenceKind::Mfence]] {
+        let mut m = traced_machine(kinds, 3);
+        run(&mut m);
+        let counts = bus_event_counts(&m);
+        assert_eq!(counts["BusRd"], m.stats.bus_rd, "{kinds:?}");
+        assert_eq!(counts["BusRdX"], m.stats.bus_rdx, "{kinds:?}");
+        assert_eq!(counts["BusUpgr"], m.stats.bus_upgr, "{kinds:?}");
+        assert_eq!(counts["Writeback"], m.stats.writebacks, "{kinds:?}");
+        assert_eq!(
+            counts.values().sum::<u64>(),
+            m.stats.total_transactions(),
+            "{kinds:?}"
+        );
+        assert!(m.stats.total_requests() > 0, "workload must exercise the bus");
+    }
+}
+
+/// Per-reason `LinkCleared` event counts equal the `BusStats` tallies.
+#[test]
+fn link_clear_events_equal_tallies() {
+    let mut m = traced_machine([FenceKind::Lmfence, FenceKind::Lmfence], 3);
+    run(&mut m);
+    let mut by_reason: BTreeMap<String, u64> = BTreeMap::new();
+    for e in m.trace.iter() {
+        if let EventKind::LinkCleared { reason } = e.kind {
+            *by_reason.entry(format!("{reason}")).or_insert(0) += 1;
+        }
+    }
+    let mut total = 0;
+    for (label, n) in m.stats.link_clear_tallies() {
+        assert_eq!(
+            by_reason.get(label).copied().unwrap_or(0),
+            n,
+            "tally mismatch for {label}"
+        );
+        total += n;
+    }
+    assert_eq!(m.stats.link_clears_total(), total);
+    assert!(total > 0, "l-mfence workload must clear links");
+}
+
+/// Every remote-downgrade link break is preceded by the bus transaction
+/// (from another CPU) that forced it, and followed by the forced flush
+/// of the victim's guarded store.
+#[test]
+fn remote_downgrades_have_matching_bus_op_and_flush() {
+    let mut m = traced_machine([FenceKind::Lmfence, FenceKind::Lmfence], 3);
+    run(&mut m);
+    let events = &m.trace.events;
+    let mut seen = 0u64;
+    for (k, e) in events.iter().enumerate() {
+        if !matches!(e.kind, EventKind::LinkCleared { reason: LinkClearReason::RemoteDowngrade }) {
+            continue;
+        }
+        seen += 1;
+        let victim = e.cpu;
+        let request = events[..k]
+            .iter()
+            .rev()
+            .find(|p| matches!(p.kind, EventKind::BusTransaction { .. }));
+        let request = request.expect("remote downgrade without a bus transaction before it");
+        assert_ne!(
+            request.cpu, victim,
+            "the breaking transaction must come from another CPU"
+        );
+        // The mechanism's whole point: the guarded store becomes visible
+        // before the requester's transaction completes. The flush events
+        // follow the clear within the same atomic transition — unless the
+        // link was broken between LE and the guarded store's commit, when
+        // there is nothing to flush yet.
+        let mut pending = 0i64;
+        for p in events[..k].iter().filter(|p| p.cpu == victim) {
+            match p.kind {
+                EventKind::StoreCommitted { .. } => pending += 1,
+                EventKind::StoreCompleted { .. } => pending -= 1,
+                _ => {}
+            }
+        }
+        if pending > 0 {
+            let flushed = events[k + 1..]
+                .iter()
+                .take(12)
+                .any(|n| n.cpu == victim && matches!(n.kind, EventKind::StoreCompleted { .. }));
+            assert!(flushed, "remote downgrade at seq {} forced no flush", e.seq);
+        }
+    }
+    assert_eq!(seen, m.stats.link_breaks_remote);
+    assert!(seen > 0, "dueling l-mfences must break links remotely");
+}
+
+/// The per-(cpu, line) MESI timeline is continuous (each transition's
+/// `from` matches the tracked state) and folds into the caches' final
+/// resident states.
+#[test]
+fn mesi_timeline_folds_to_final_cache_states() {
+    let mut m = traced_machine([FenceKind::Lmfence, FenceKind::Mfence], 3);
+    run(&mut m);
+    let mut tracked: BTreeMap<(usize, u64), Mesi> = BTreeMap::new();
+    let mut transitions = 0u64;
+    for e in m.trace.iter() {
+        if let EventKind::MesiTransition { line, from, to } = e.kind {
+            let cur = tracked.get(&(e.cpu, line.0)).copied().unwrap_or(Mesi::I);
+            assert_eq!(cur, from, "timeline discontinuity on cpu{} {line}", e.cpu);
+            assert_ne!(from, to, "no-op transition recorded");
+            tracked.insert((e.cpu, line.0), to);
+            transitions += 1;
+        }
+    }
+    assert!(transitions > 0, "workload must transition MESI states");
+    for i in 0..m.num_cpus() {
+        for (line, state) in m.caches[i].states() {
+            assert_eq!(
+                tracked.get(&(i, line.0)).copied().unwrap_or(Mesi::I),
+                state,
+                "cpu{i} {line} final state not reproduced by the timeline"
+            );
+        }
+    }
+    for (&(cpu, line), &state) in &tracked {
+        if state != Mesi::I {
+            assert_eq!(
+                m.caches[cpu].state(LineId(line)),
+                state,
+                "timeline says cpu{cpu} L{line} resident, cache disagrees"
+            );
+        }
+    }
+}
+
+/// Capacity evictions are accounted too: the victim's drop shows on the
+/// timeline and dirty victims produce an eviction-attributed writeback.
+#[test]
+fn evictions_are_attributed() {
+    let cfg = MachineConfig {
+        cache_capacity: 2,
+        ..MachineConfig::default()
+    };
+    let mut b = ProgramBuilder::new("evictor");
+    b.st(Addr(1), 1u64).mfence();
+    for a in 10..14u64 {
+        b.ld(0, Addr(a));
+    }
+    b.halt();
+    let mut m = Machine::new(cfg, CostModel::default(), vec![b.build()]);
+    run(&mut m);
+    let evicted_wb = m.trace.iter().any(|e| {
+        matches!(
+            e.kind,
+            EventKind::BusTransaction { op: BusOp::Writeback, cause: BusCause::Eviction, .. }
+        )
+    });
+    assert!(evicted_wb, "dirty victim must produce an eviction writeback");
+    let drops = m
+        .trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::MesiTransition { to: Mesi::I, .. }))
+        .count();
+    assert!(drops >= 2, "capacity-2 cache walking 5 lines must drop lines");
+}
+
+/// The Chrome export of a traced run validates (flow pairing included)
+/// and carries the advertised tracks.
+#[test]
+fn chrome_export_validates_and_has_all_tracks() {
+    let mut m = traced_machine([FenceKind::Lmfence, FenceKind::Lmfence], 3);
+    run(&mut m);
+    assert!(m.stats.link_breaks_remote > 0);
+    let json = lbmf_sim::chrome::export(&m);
+    lbmf_trace::chrome::validate(&json).expect("sim export must validate");
+    assert!(json.contains("\"name\":\"le/st-link\""));
+    assert!(json.contains(" MESI\""));
+    let starts = json.matches("\"ph\":\"s\"").count() as u64;
+    assert_eq!(starts, m.stats.link_breaks_remote, "one flow arrow per remote break");
+}
+
+/// The conservation laws hold on *every* interleaving, not just the
+/// pseudo-parallel schedule: explore a small protocol with tracing on and
+/// re-check at each terminal.
+#[test]
+fn conservation_holds_across_explored_interleavings() {
+    let cfg = MachineConfig {
+        record_trace: true,
+        ..MachineConfig::default()
+    };
+    let m = Machine::new(cfg, CostModel::zero(), litmus_sb([FenceKind::Lmfence, FenceKind::Lmfence]));
+    let explorer = Explorer::new(200_000, 10_000);
+    let (result, failure) = explorer.explore_checking(m, |m| {
+        let counts = bus_event_counts(m);
+        if counts.values().sum::<u64>() != m.stats.total_transactions() {
+            return Err(format!(
+                "bus conservation broken: events {counts:?} vs stats {:?}",
+                m.stats
+            ));
+        }
+        let clears = m
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::LinkCleared { .. }))
+            .count() as u64;
+        if clears != m.stats.link_clears_total() {
+            return Err(format!(
+                "link-clear conservation broken: {clears} events vs {} tallied",
+                m.stats.link_clears_total()
+            ));
+        }
+        Ok(())
+    });
+    assert!(!result.truncated, "exploration must be exhaustive");
+    assert!(result.terminals > 0);
+    if let Some(f) = failure {
+        panic!("conservation violated on some interleaving: {f}");
+    }
+}
+
+/// The Prometheus exposition of sim counters reflects the stats verbatim.
+#[test]
+fn prometheus_exposition_matches_stats() {
+    let mut m = traced_machine([FenceKind::Lmfence, FenceKind::Lmfence], 2);
+    run(&mut m);
+    let text = lbmf_sim::bus::prometheus(&m.stats);
+    for (family, value) in [
+        ("lbmf_sim_bus_ops_total{op=\"BusRd\"}", m.stats.bus_rd),
+        ("lbmf_sim_bus_ops_total{op=\"BusRdX\"}", m.stats.bus_rdx),
+        ("lbmf_sim_link_clears_total{reason=\"remote-downgrade\"}", m.stats.link_breaks_remote),
+        ("lbmf_sim_mfences_total", m.stats.mfences),
+        ("lbmf_sim_store_completions_total", m.stats.store_completions),
+    ] {
+        assert!(
+            text.contains(&format!("{family} {value}\n")),
+            "missing `{family} {value}` in:\n{text}"
+        );
+    }
+}

@@ -41,22 +41,48 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-struct EventWriter {
+/// An incremental Chrome trace-event JSON writer.
+///
+/// This is the mechanical half of [`export`], made public so *other*
+/// event sources — notably `lbmf-sim`'s coherence-level trace, whose
+/// event names (MESI states, bus transactions, link spans) are not part
+/// of this crate's fixed [`EventKind`] schema — can emit the same format
+/// and pass the same [`validate`] checks.
+///
+/// Usage is open/decorate/close per event: [`open`](Self::open) writes
+/// the required common fields (`name`/`ph`/`pid`/`tid`/`ts`), the
+/// decorators ([`dur`](Self::dur), [`scope`](Self::scope),
+/// [`flow_id`](Self::flow_id), [`bind_enclosing`](Self::bind_enclosing),
+/// [`arg_str`](Self::arg_str), [`arg_u64`](Self::arg_u64)) append
+/// optional fields, and [`close`](Self::close) terminates the event.
+/// Arg decorators must come last — the first one opens the `args` object
+/// and `close` shuts it. [`finish`](Self::finish) yields the JSON.
+pub struct ChromeWriter {
     out: String,
     first: bool,
+    in_args: bool,
 }
 
-impl EventWriter {
-    fn new() -> Self {
-        EventWriter {
+impl Default for ChromeWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeWriter {
+    /// An empty `{"traceEvents":[...]}` document, ready for events.
+    pub fn new() -> Self {
+        ChromeWriter {
             out: String::from("{\"traceEvents\":[\n"),
             first: true,
+            in_args: false,
         }
     }
 
-    /// Open one event object with the common fields; caller appends extra
-    /// `,"k":v` pairs to the returned buffer and must call `close_event`.
-    fn open(&mut self, name: &str, ph: char, tid: u32, ts_us: f64) {
+    /// Open one event object with the required common fields
+    /// (`name`, `ph`, `pid`, `tid`, `ts`); decorate, then [`close`](Self::close).
+    pub fn open(&mut self, name: &str, ph: char, tid: u32, ts_us: f64) {
+        debug_assert!(!self.in_args, "previous event not closed");
         if !self.first {
             self.out.push_str(",\n");
         }
@@ -69,11 +95,78 @@ impl EventWriter {
         );
     }
 
-    fn close(&mut self) {
+    /// Duration in microseconds (for `ph:"X"` complete spans).
+    pub fn dur(&mut self, dur_us: f64) {
+        debug_assert!(!self.in_args, "dur must precede args");
+        let _ = write!(self.out, ",\"dur\":{dur_us:.3}");
+    }
+
+    /// Instant-event scope (`t` thread, `p` process, `g` global).
+    pub fn scope(&mut self, s: char) {
+        debug_assert!(!self.in_args, "scope must precede args");
+        let _ = write!(self.out, ",\"s\":\"{s}\"");
+    }
+
+    /// Flow-event category and id (for `ph:"s"/"t"/"f"` arrows; the
+    /// validator pairs `s` starts with `f` finishes by this id).
+    pub fn flow_id(&mut self, id: u64) {
+        debug_assert!(!self.in_args, "flow_id must precede args");
+        let _ = write!(self.out, ",\"cat\":\"lbmf\",\"id\":{id}");
+    }
+
+    /// Bind a flow finish to the end of its enclosing slice
+    /// (`"bp":"e"`, Perfetto-style arrowheads).
+    pub fn bind_enclosing(&mut self) {
+        debug_assert!(!self.in_args, "bind_enclosing must precede args");
+        self.out.push_str(",\"bp\":\"e\"");
+    }
+
+    fn begin_arg(&mut self, key: &str) {
+        if self.in_args {
+            self.out.push(',');
+        } else {
+            self.out.push_str(",\"args\":{");
+            self.in_args = true;
+        }
+        self.out.push('"');
+        escape_into(&mut self.out, key);
+        self.out.push_str("\":");
+    }
+
+    /// Append a string-valued entry to the event's `args` object.
+    pub fn arg_str(&mut self, key: &str, val: &str) {
+        self.begin_arg(key);
+        self.out.push('"');
+        escape_into(&mut self.out, val);
+        self.out.push('"');
+    }
+
+    /// Append an integer-valued entry to the event's `args` object.
+    pub fn arg_u64(&mut self, key: &str, val: u64) {
+        self.begin_arg(key);
+        let _ = write!(self.out, "{val}");
+    }
+
+    /// Terminate the current event (closing `args` if open).
+    pub fn close(&mut self) {
+        if self.in_args {
+            self.out.push('}');
+            self.in_args = false;
+        }
         self.out.push('}');
     }
 
-    fn finish(mut self) -> String {
+    /// Emit a `thread_name` metadata row labelling `tid`.
+    pub fn thread_name(&mut self, tid: u32, name: &str) {
+        self.open("thread_name", 'M', tid, 0.0);
+        self.arg_str("name", name);
+        self.close();
+    }
+
+    /// Close the document and return the JSON. The output of a correctly
+    /// paired open/close sequence always passes [`validate`] (flow
+    /// pairing permitting).
+    pub fn finish(mut self) -> String {
         self.out.push_str("\n]}\n");
         self.out
     }
@@ -89,49 +182,36 @@ pub fn export(snap: &TraceSnapshot) -> String {
 /// run as a metadata event (`ph:"M"`, name `lbmf_strategy`) so offline
 /// consumers — `lbmf-obs explain` — can report attribution per strategy.
 pub fn export_with_strategy(snap: &TraceSnapshot, strategy: Option<&str>) -> String {
-    let mut w = EventWriter::new();
+    let mut w = ChromeWriter::new();
     if let Some(strategy) = strategy {
         w.open("lbmf_strategy", 'M', 0, 0.0);
-        w.out.push_str(",\"args\":{\"name\":\"");
-        escape_into(&mut w.out, strategy);
-        w.out.push_str("\"}");
+        w.arg_str("name", strategy);
         w.close();
     }
     for t in &snap.threads {
         // Row label.
-        w.open("thread_name", 'M', t.tid, 0.0);
-        w.out.push_str(",\"args\":{\"name\":\"");
-        escape_into(&mut w.out, &t.name);
-        w.out.push_str("\"}");
-        w.close();
+        w.thread_name(t.tid, &t.name);
         for e in &t.events {
             let ts = e.nanos as f64 / 1000.0;
             if e.dur > 0 {
                 w.open(e.kind.name(), 'X', t.tid, ts);
-                let _ = write!(w.out, ",\"dur\":{:.3}", e.dur as f64 / 1000.0);
+                w.dur(e.dur as f64 / 1000.0);
             } else {
                 w.open(e.kind.name(), 'i', t.tid, ts);
-                w.out.push_str(",\"s\":\"t\"");
+                w.scope('t');
             }
-            if e.guarded_addr != 0 || e.corr != 0 {
-                w.out.push_str(",\"args\":{");
-                if e.guarded_addr != 0 {
-                    let _ = write!(w.out, "\"addr\":\"{:#x}\"", e.guarded_addr);
-                    if e.corr != 0 {
-                        w.out.push(',');
-                    }
-                }
-                if e.corr != 0 {
-                    let _ = write!(w.out, "\"corr\":{}", e.corr);
-                }
-                w.out.push('}');
+            if e.guarded_addr != 0 {
+                w.arg_str("addr", &format!("{:#x}", e.guarded_addr));
+            }
+            if e.corr != 0 {
+                w.arg_u64("corr", e.corr);
             }
             w.close();
         }
         // Lossy-by-design: the wrap count is part of the export.
         let end = t.events.last().map_or(0.0, |e| e.nanos as f64 / 1000.0);
         w.open("dropped", 'C', t.tid, end);
-        let _ = write!(w.out, ",\"args\":{{\"dropped\":{}}}", t.dropped);
+        w.arg_u64("dropped", t.dropped);
         w.close();
     }
     // Flow arrows: one s→t…→f chain per correlation id, following the
@@ -152,10 +232,10 @@ pub fn export_with_strategy(snap: &TraceSnapshot, strategy: Option<&str>) -> Str
                 't'
             };
             w.open(name, ph, e.thread, e.nanos as f64 / 1000.0);
-            let _ = write!(w.out, ",\"cat\":\"lbmf\",\"id\":{}", chain.corr);
+            w.flow_id(chain.corr);
             if ph == 'f' {
                 // Bind the arrowhead to the enclosing slice, Perfetto-style.
-                w.out.push_str(",\"bp\":\"e\"");
+                w.bind_enclosing();
             }
             w.close();
         }
@@ -171,16 +251,12 @@ pub fn export_with_strategy(snap: &TraceSnapshot, strategy: Option<&str>) -> Str
 pub fn from_check_trace(trace: &str) -> String {
     const MEMORY_TID: u32 = 1000;
     const VERDICT_TID: u32 = 1001;
-    let mut w = EventWriter::new();
+    let mut w = ChromeWriter::new();
     let mut named: Vec<u32> = Vec::new();
-    let mut name_row = |w: &mut EventWriter, tid: u32, name: &str| {
+    let mut name_row = |w: &mut ChromeWriter, tid: u32, name: &str| {
         if !named.contains(&tid) {
             named.push(tid);
-            w.open("thread_name", 'M', tid, 0.0);
-            w.out.push_str(",\"args\":{\"name\":\"");
-            escape_into(&mut w.out, name);
-            w.out.push_str("\"}");
-            w.close();
+            w.thread_name(tid, name);
         }
     };
     for (step, line) in trace.lines().enumerate() {
@@ -194,12 +270,12 @@ pub fn from_check_trace(trace: &str) -> String {
         if let Some(rest) = line.strip_prefix("!! ") {
             name_row(&mut w, VERDICT_TID, "verdict");
             w.open(rest, 'i', VERDICT_TID, ts);
-            w.out.push_str(",\"s\":\"g\""); // global-scope marker
+            w.scope('g'); // global-scope marker
             w.close();
         } else if let Some(rest) = line.strip_prefix("memory: ") {
             name_row(&mut w, MEMORY_TID, "memory (store buffers)");
             w.open(rest, 'i', MEMORY_TID, ts);
-            w.out.push_str(",\"s\":\"t\"");
+            w.scope('t');
             w.close();
         } else if let Some((t, rest)) = line.split_once(": ") {
             let Some(tid) = t
@@ -210,7 +286,7 @@ pub fn from_check_trace(trace: &str) -> String {
             };
             name_row(&mut w, tid, t);
             w.open(rest, 'i', tid, ts);
-            w.out.push_str(",\"s\":\"t\"");
+            w.scope('t');
             w.close();
         }
     }
@@ -684,6 +760,34 @@ mod tests {
         assert!(validate_with_serialize_pair(&json)
             .unwrap_err()
             .contains("serialize-request"));
+    }
+
+    #[test]
+    fn chrome_writer_public_api_self_validates() {
+        // The writer external event sources (lbmf-sim) build on: spans,
+        // instants, args, and a paired flow arrow must pass validate().
+        let mut w = ChromeWriter::new();
+        w.thread_name(7, "cpu7");
+        w.open("M", 'X', 7, 3.0);
+        w.dur(2.0);
+        w.arg_str("state", "Modified");
+        w.arg_u64("line", 4);
+        w.close();
+        w.open("BusRd", 'i', 7, 5.0);
+        w.scope('t');
+        w.close();
+        w.open("remote-downgrade", 's', 7, 5.0);
+        w.flow_id(1);
+        w.close();
+        w.open("remote-downgrade", 'f', 8, 6.0);
+        w.flow_id(1);
+        w.bind_enclosing();
+        w.close();
+        let json = w.finish();
+        assert_eq!(validate(&json), Ok(5));
+        assert!(json.contains("\"args\":{\"state\":\"Modified\",\"line\":4}"));
+        assert!(json.contains("\"cat\":\"lbmf\",\"id\":1"));
+        assert!(json.contains("\"bp\":\"e\""));
     }
 
     #[test]

@@ -13,6 +13,40 @@ fn label_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
+/// Render one `counter` metric family in exposition format: a single
+/// `# HELP` / `# TYPE` header pair followed by one sample line per label
+/// set, appended to `out`.
+///
+/// This is the generic half of [`export`], made public so other crates'
+/// counters — `lbmf-sim`'s `BusStats` and link-clear tallies in
+/// particular — render through the same (conformance-tested) formatter
+/// instead of hand-rolling exposition text. `name` and label keys must
+/// already be legal metric/label names (`[a-zA-Z_:][a-zA-Z0-9_:]*` /
+/// `[a-zA-Z_][a-zA-Z0-9_]*`); label *values* are escaped here.
+pub fn render_counter_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    samples: &[(&[(&str, &str)], u64)],
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (labels, value) in samples {
+        out.push_str(name);
+        if !labels.is_empty() {
+            out.push('{');
+            for (k, (lk, lv)) in labels.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{lk}=\"{}\"", label_escape(lv));
+            }
+            out.push('}');
+        }
+        let _ = writeln!(out, " {value}");
+    }
+}
+
 /// Render a snapshot in Prometheus exposition format.
 pub fn export(snap: &TraceSnapshot) -> String {
     let mut out = String::new();
@@ -104,5 +138,29 @@ mod tests {
         assert!(text.contains("lbmf_trace_serialize_latency_bucket{le=\"1023\"} 1"));
         assert!(text.contains("lbmf_trace_serialize_latency_sum 700"));
         assert!(text.contains("lbmf_trace_serialize_latency_count 1"));
+    }
+
+    #[test]
+    fn counter_family_renders_headers_labels_and_bare_samples() {
+        let mut out = String::new();
+        render_counter_family(
+            &mut out,
+            "lbmf_sim_bus_ops_total",
+            "Bus transactions, by kind.",
+            &[
+                (&[("op", "BusRd")], 3),
+                (&[("op", "BusRdX"), ("proto", "MESI")], 1),
+            ],
+        );
+        render_counter_family(&mut out, "lbmf_sim_mfences_total", "mfences retired.", &[(&[], 2)]);
+        assert!(out.contains("# HELP lbmf_sim_bus_ops_total Bus transactions, by kind.\n"));
+        assert!(out.contains("# TYPE lbmf_sim_bus_ops_total counter\n"));
+        assert!(out.contains("lbmf_sim_bus_ops_total{op=\"BusRd\"} 3\n"));
+        assert!(out.contains("lbmf_sim_bus_ops_total{op=\"BusRdX\",proto=\"MESI\"} 1\n"));
+        assert!(out.contains("lbmf_sim_mfences_total 2\n"), "no braces without labels");
+        // Label values escape exposition-format specials.
+        let mut esc = String::new();
+        render_counter_family(&mut esc, "m_total", "h", &[(&[("k", "a\"b\\c")], 1)]);
+        assert!(esc.contains("m_total{k=\"a\\\"b\\\\c\"} 1\n"));
     }
 }

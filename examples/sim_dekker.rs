@@ -6,13 +6,21 @@
 //! you can see the link set / link break / store-buffer flush), and then
 //! model-checks every interleaving for mutual exclusion.
 //!
+//! With `--trace-out PATH` the traced schedule is also exported as a
+//! Chrome trace (per-CPU instruction tracks, per-line MESI timelines,
+//! the LE/ST link span, and the remote-downgrade flow arrow) — load it
+//! in Perfetto / `chrome://tracing`, or feed it to `lbmf-obs validate`.
+//!
 //! ```text
-//! cargo run --release --example sim_dekker
+//! cargo run --release --example sim_dekker [-- --trace-out sim.trace.json]
 //! ```
 
 use lbmf_repro::sim::prelude::*;
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
+    let args = lbmf_bench::Args::from(&refs);
     // --- 1. a single schedule, traced -------------------------------
     let mut primary = ProgramBuilder::new("primary");
     primary.lmfence(L1, 1u64); // K1: l-mfence(&L1, 1)
@@ -52,6 +60,20 @@ fn main() {
     );
     println!("remote link breaks: {}", m.stats.link_breaks_remote);
     check_all(&m, &[]).expect("trace invariants");
+
+    if let Some(path) = args.value("--trace-out") {
+        let json = lbmf_repro::sim::chrome::export_with_label(&m, Some("sim-l-mfence"));
+        let events = lbmf_trace::chrome::validate(&json).expect("sim export must validate");
+        assert!(
+            json.contains("\"name\":\"remote-downgrade\""),
+            "this schedule must produce a remote-downgrade flow arrow"
+        );
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent).expect("create trace dir");
+        }
+        std::fs::write(path, &json).expect("write trace");
+        println!("\nwrote {path} ({events} Chrome events) — open in Perfetto or chrome://tracing");
+    }
 
     // --- 2. every interleaving, model-checked -----------------------
     let opt = DekkerOptions { iters: 1, cs_mem_ops: true, cs_work: 0 };

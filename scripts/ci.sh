@@ -33,9 +33,40 @@ echo "== explain smoke: causal chains from live steal + Dekker runs =="
 # pairing, so any validator error is fatal), reconstructs the chains,
 # prints per-phase attribution, and --require-complete 1 exits nonzero
 # unless a full request→ack chain was reconstructed.
-cargo run --release --example work_stealing -- --trace-out target/ci_steal.trace.json
+# A complete steal chain needs thief and victim actually running in
+# parallel; on a 1-core host the probe loop never overlaps a drain, so
+# the steal half is gated on core count (the Dekker trace still has
+# dozens of complete signal chains and keeps `explain` honest there).
+explain_traces=(target/ci_trace_dekker.trace.json)
+if [ "$(nproc)" -ge 2 ]; then
+    cargo run --release --example work_stealing -- --trace-out target/ci_steal.trace.json
+    explain_traces+=(target/ci_steal.trace.json)
+else
+    echo "   (1-core host: skipping the work_stealing steal-chain capture)"
+fi
 cargo run --release -p lbmf-obs -- explain \
-    target/ci_steal.trace.json target/ci_trace_dekker.trace.json --require-complete 2
+    "${explain_traces[@]}" --require-complete 2
+
+echo "== sim-trace smoke: simulated Dekker -> Chrome export -> validate =="
+# The example exports the coherence-level trace of the simulated l-mfence
+# schedule (per-CPU tracks, MESI timelines, the LE/ST link span) and
+# asserts the remote-downgrade flow arrow is present; `validate` re-checks
+# the file structurally (flow pairing included) from a separate process,
+# and the greps pin the acceptance surface: a remote-downgrade flow pair
+# and at least one MESI timeline track.
+cargo run --release --example sim_dekker -- --trace-out target/ci_sim_dekker.trace.json
+cargo run --release -p lbmf-obs -- validate target/ci_sim_dekker.trace.json
+grep -q '"name":"remote-downgrade"' target/ci_sim_dekker.trace.json
+grep -q '"ph":"s"' target/ci_sim_dekker.trace.json
+grep -q '"ph":"f"' target/ci_sim_dekker.trace.json
+grep -q ' MESI"' target/ci_sim_dekker.trace.json
+
+echo "== calibration: DES cost table vs lbmf-sim kernels (advisory) =="
+# Replays the Dekker-handoff and steal-probe kernels on the cycle machine
+# and compares the measured charges to the DES cost table. Advisory on CI:
+# a drift report should block the retune PR that caused it, not an
+# unrelated build; the written lbmf-calib/1 report is the artifact.
+cargo run --release -p lbmf-obs -- calibrate --advisory --out target/ci_calibration.json
 
 echo "== zero-cost-when-disabled: trace feature compiles out =="
 cargo build --release --no-default-features -p lbmf
